@@ -1,0 +1,235 @@
+package streamgpu_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"streamgpu/internal/bench"
+	"streamgpu/internal/mandel"
+	"streamgpu/internal/tbb"
+	"streamgpu/internal/workload"
+)
+
+// The benchmarks below regenerate every figure of the paper's evaluation.
+// Experiments execute on the discrete-event simulator, so each benchmark
+// reports two numbers: the host cost of running the simulation (ns/op, the
+// usual Go metric) and the *virtual* execution time or throughput of the
+// modelled system (virtual-s or virtual-MB/s), which is what corresponds
+// to the paper's axes. Figure-scale physical parameters are reduced (see
+// bench.TestConfig); run `go run ./cmd/figures` for the full-scale tables.
+
+var (
+	prepOnce sync.Once
+	prep     *bench.Prep
+)
+
+func sharedPrep() *bench.Prep {
+	prepOnce.Do(func() { prep = bench.NewPrep(bench.TestConfig()) })
+	return prep
+}
+
+// reportVirtual attaches the virtual-time metrics to a Fig. 1/4 benchmark.
+func reportVirtual(b *testing.B, virtualSec float64) {
+	b.Helper()
+	pr := sharedPrep()
+	b.ReportMetric(virtualSec, "virtual-s")
+	b.ReportMetric(pr.SeqTime().Seconds()/virtualSec, "speedup")
+}
+
+// --- Fig. 1: the Mandelbrot optimization ladder ---
+
+func BenchmarkFig1Sequential(b *testing.B) {
+	pr := sharedPrep()
+	for i := 0; i < b.N; i++ {
+		_ = pr.SeqTime()
+	}
+	reportVirtual(b, pr.SeqTime().Seconds())
+}
+
+func BenchmarkFig1NaiveKernel(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunRowPerKernel(bench.CUDA, false).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1Grid2D(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunRowPerKernel(bench.CUDA, true).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1Batch32(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.CUDA, 1, 1).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1Overlap2x(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.CUDA, 2, 1).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1Overlap4x(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.CUDA, 4, 1).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1TwoGPUs2xMem(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.CUDA, 2, 2).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1TwoGPUs4xMem(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.CUDA, 4, 2).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig1OpenCLBatch32(b *testing.B) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunBatched(bench.OpenCL, 1, 1).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+// --- Fig. 4: programming-model comparison ---
+
+func benchCPUOnly(b *testing.B, fw bench.Framework) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunCPUPipeline(fw, pr.Cfg.CPUWorkers).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig4CPUOnlySPar(b *testing.B)     { benchCPUOnly(b, bench.SPar) }
+func BenchmarkFig4CPUOnlyFastFlow(b *testing.B) { benchCPUOnly(b, bench.FastFlow) }
+func BenchmarkFig4CPUOnlyTBB(b *testing.B)      { benchCPUOnly(b, bench.TBB) }
+
+func benchCombo(b *testing.B, fw bench.Framework, api bench.API, gpus int) {
+	pr := sharedPrep()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = pr.RunComboPipeline(fw, api, gpus, pr.Cfg.GPUWorkers).Seconds()
+	}
+	reportVirtual(b, v)
+}
+
+func BenchmarkFig4SParCUDA1GPU(b *testing.B)       { benchCombo(b, bench.SPar, bench.CUDA, 1) }
+func BenchmarkFig4SParCUDA2GPUs(b *testing.B)      { benchCombo(b, bench.SPar, bench.CUDA, 2) }
+func BenchmarkFig4SParOpenCL1GPU(b *testing.B)     { benchCombo(b, bench.SPar, bench.OpenCL, 1) }
+func BenchmarkFig4TBBCUDA2GPUs(b *testing.B)       { benchCombo(b, bench.TBB, bench.CUDA, 2) }
+func BenchmarkFig4FastFlowCUDA2GPUs(b *testing.B)  { benchCombo(b, bench.FastFlow, bench.CUDA, 2) }
+func BenchmarkFig4FastFlowOpenCL1GPU(b *testing.B) { benchCombo(b, bench.FastFlow, bench.OpenCL, 1) }
+
+// Real host runs of the three runtimes (physical wall clock; scales with
+// the machine's cores, unlike the virtual experiments above).
+
+var realParams = mandel.Params{Dim: 256, Niter: 512, InitA: -2.0, InitB: -1.25, Range: 2.5}
+
+func BenchmarkFig4RealSPar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mandel.RunSPar(realParams, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4RealFastFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mandel.RunFF(realParams, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4RealTBB(b *testing.B) {
+	s := tbb.NewScheduler(0)
+	defer s.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mandel.RunTBB(realParams, s, 2*runtime.GOMAXPROCS(0))
+	}
+}
+
+// --- Fig. 5: Dedup throughput ---
+
+var (
+	dedupOnce  sync.Once
+	dedupPreps map[workload.Kind]*bench.DedupPrep
+)
+
+func sharedDedup(k workload.Kind) *bench.DedupPrep {
+	dedupOnce.Do(func() {
+		dedupPreps = make(map[workload.Kind]*bench.DedupPrep)
+		for _, spec := range workload.PaperSpecs(1.0 / 256) {
+			dedupPreps[spec.Kind] = bench.NewDedupPrep(spec, 64*1024)
+		}
+	})
+	return dedupPreps[k]
+}
+
+func benchDedup(b *testing.B, kind workload.Kind, v bench.DedupVariant) {
+	dp := sharedDedup(kind)
+	cal := bench.Default()
+	var sec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.API == "" {
+			sec = dp.RunCPU(cal, 19).Seconds()
+		} else {
+			sec = dp.RunGPU(cal, v).Seconds()
+		}
+	}
+	b.ReportMetric(float64(dp.Size)/1e6/sec, "virtual-MB/s")
+}
+
+func BenchmarkFig5LargeCPU(b *testing.B) { benchDedup(b, workload.Large, bench.DedupVariant{}) }
+func BenchmarkFig5LargeCUDANoBatch(b *testing.B) {
+	benchDedup(b, workload.Large, bench.DedupVariant{API: bench.CUDA, Spaces: 1, GPUs: 1})
+}
+func BenchmarkFig5LargeCUDABatch(b *testing.B) {
+	benchDedup(b, workload.Large, bench.DedupVariant{API: bench.CUDA, Batched: true, Spaces: 1, GPUs: 1})
+}
+func BenchmarkFig5LargeOpenCLBatch2xMem(b *testing.B) {
+	benchDedup(b, workload.Large, bench.DedupVariant{API: bench.OpenCL, Batched: true, Spaces: 2, GPUs: 1})
+}
+func BenchmarkFig5LinuxCPU(b *testing.B) { benchDedup(b, workload.Linux, bench.DedupVariant{}) }
+func BenchmarkFig5LinuxCUDABatch(b *testing.B) {
+	benchDedup(b, workload.Linux, bench.DedupVariant{API: bench.CUDA, Batched: true, Spaces: 1, GPUs: 1})
+}
+func BenchmarkFig5LinuxCUDABatch2GPUs(b *testing.B) {
+	benchDedup(b, workload.Linux, bench.DedupVariant{API: bench.CUDA, Batched: true, Spaces: 1, GPUs: 2})
+}
+func BenchmarkFig5SilesiaCPU(b *testing.B) { benchDedup(b, workload.Silesia, bench.DedupVariant{}) }
+func BenchmarkFig5SilesiaOpenCLBatch(b *testing.B) {
+	benchDedup(b, workload.Silesia, bench.DedupVariant{API: bench.OpenCL, Batched: true, Spaces: 1, GPUs: 1})
+}

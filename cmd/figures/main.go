@@ -1,0 +1,71 @@
+// Command figures regenerates every figure of the paper's evaluation
+// section as terminal tables (values + speedups + ASCII bars):
+//
+//	figures            # all figures at default scale
+//	figures -fig 1     # the Mandelbrot optimization ladder
+//	figures -fig 4     # programming-model comparison (1 and 2 GPUs)
+//	figures -fig 5     # Dedup throughput over the three datasets
+//
+// Experiments run in virtual time on the simulated Titan XP pair; see
+// DESIGN.md for the methodology and EXPERIMENTS.md for paper-vs-measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgpu/internal/bench"
+	"streamgpu/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 4, 5 or all")
+	ablation := flag.Bool("ablation", false, "also run the ablation sweeps (batch rows, worker counts, Dedup batch size)")
+	dedupScale := flag.Float64("dedup-scale", 1.0/64, "dataset scale for Fig. 5 (1.0 = the paper's 185/816/202 MB)")
+	batchBytes := flag.Int("batch-bytes", 128*1024, "Dedup batch size in bytes (the paper's 1 MiB at scale 1.0)")
+	niter := flag.Int("niter", 1000, "physically computed Mandelbrot iterations (WorkScale restores the paper's 200k)")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *niter > 0 {
+		cfg.Params.Niter = *niter
+		cfg.Cal.WorkScale = 200000 / *niter
+	}
+
+	wantMandel := *fig == "all" || *fig == "1" || *fig == "4" || *ablation
+	wantDedup := *fig == "all" || *fig == "5"
+	if !wantMandel && !wantDedup {
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, 4, 5 or all)\n", *fig)
+		os.Exit(2)
+	}
+
+	if wantMandel {
+		fmt.Fprintln(os.Stderr, "computing Mandelbrot iteration cache...")
+		pr := bench.NewPrep(cfg)
+		if *fig == "all" || *fig == "1" {
+			fmt.Println(pr.Fig1())
+		}
+		if *fig == "all" || *fig == "4" {
+			fmt.Println(pr.Fig4(1))
+			fmt.Println(pr.Fig4(2))
+		}
+		if *ablation {
+			fmt.Println(pr.SweepBatchRows(bench.CUDA, []int{1, 2, 4, 8, 16, 32, 64, 128}))
+			fmt.Println(pr.SweepWorkers(bench.SPar, []int{1, 2, 4, 8, 16, 19, 24}))
+		}
+	}
+	if *ablation {
+		spec := workload.Spec{Kind: workload.Linux, Size: 4 << 20, Seed: 5}
+		v := bench.DedupVariant{Label: "SPar+CUDA batch", API: bench.CUDA, Batched: true, Spaces: 1, GPUs: 1}
+		fmt.Println(bench.SweepDedupBatchSize(spec, cfg.Cal, v,
+			[]int{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}))
+	}
+	if wantDedup {
+		for _, spec := range workload.PaperSpecs(*dedupScale) {
+			fmt.Fprintf(os.Stderr, "preparing dataset %s (%.1f MB)...\n", spec.Kind, float64(spec.Size)/1e6)
+			dp := bench.NewDedupPrep(spec, *batchBytes)
+			fmt.Println(bench.Fig5(dp, cfg.Cal))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command sparc is the SPar front-end analogue: it parses the
+// [[spar::...]] annotations in a source file, validates SPar's grammar
+// rules, and prints the parallel activity graph the SPar compiler would
+// generate (the pipeline/farm structure of the paper's Fig. 3):
+//
+//	sparc -env workers=10 listing1.cpp
+//	echo '[[spar::ToStream]] for(;;) { [[spar::Stage, spar::Replicate(4)]] {} }' | sparc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamgpu/internal/spanno"
+)
+
+func main() {
+	env := flag.String("env", "", "comma-separated name=value bindings for symbolic Replicate degrees (e.g. workers=10)")
+	def := flag.Int("default-replicate", 1, "degree for unresolved Replicate symbols")
+	verbose := flag.Bool("v", false, "also print every parsed annotation")
+	flag.Parse()
+
+	bindings := map[string]int{}
+	if *env != "" {
+		for _, kv := range strings.Split(*env, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fail(fmt.Errorf("bad -env entry %q", kv))
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fail(fmt.Errorf("bad -env value %q: %v", kv, err))
+			}
+			bindings[strings.TrimSpace(parts[0])] = n
+		}
+	}
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fail(fmt.Errorf("usage: sparc [flags] [file]"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	anns, err := spanno.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		for _, a := range anns {
+			fmt.Printf("line %d: %s", a.Line, a.Identifier())
+			for _, at := range a.Attrs[1:] {
+				fmt.Printf(", %s(%s)", at.Kind, strings.Join(at.Args, ", "))
+			}
+			fmt.Println()
+		}
+	}
+	g, err := spanno.BuildGraph(anns, bindings, *def)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(g)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sparc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// Package streamgpu is a Go reproduction of "Stream Processing on
+// Multi-Cores with GPUs: Parallel Programming Models' Challenges"
+// (Rockenbach, Stein, Griebler, Mencagli, Torquati, Danelutto, Fernandes —
+// IPDPSW 2019).
+//
+// The repository contains, built from scratch on the standard library:
+//
+//   - internal/core — the SPar stream-parallelism DSL (ToStream, Stage,
+//     Input, Output, Replicate) compiling to FastFlow structures;
+//   - internal/ff and internal/tbb — FastFlow-style and TBB-style runtimes
+//     (lock-free SPSC pipelines/farms; work-stealing scheduler with
+//     token-throttled pipelines);
+//   - internal/gpu (+ cuda and opencl facades) — a functional + timed GPU
+//     simulator standing in for the paper's two Titan XP cards;
+//   - internal/mandel and internal/dedup — the two applications, with
+//     internal/rabin, internal/sha1x and internal/lzss as substrates;
+//   - internal/bench — the experiment harness regenerating Figs. 1, 4, 5.
+//
+// See README.md for a tour, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// root-level bench_test.go exposes every figure as a testing.B benchmark.
+package streamgpu

@@ -1,0 +1,100 @@
+// pipeline-gpu shows the raw CUDA-facade workflow from §IV-A on the
+// simulated device: per-item streams, asynchronous copies on pinned memory,
+// and events synchronized by the last pipeline stage. It offloads a batch
+// of vector-scale operations and prints the device utilization report.
+// Run with:
+//
+//	go run ./examples/pipeline-gpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+	"streamgpu/internal/gpu/cuda"
+)
+
+// scaleSpec multiplies every float64-as-byte element by 3 (byte arithmetic
+// keeps the example simple).
+var scaleSpec = &gpu.KernelSpec{
+	Name: "scale3",
+	Body: func(t gpu.Thread, args []any) int64 {
+		buf := args[0].(*gpu.Buf)
+		n := args[1].(int)
+		i := t.GlobalX()
+		if i >= n {
+			return gpu.ExitCost
+		}
+		buf.Bytes()[i] *= 3
+		return 24
+	},
+}
+
+func main() {
+	const items = 16
+	const n = 1 << 20
+
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	rt := cuda.NewRuntime(sim, dev)
+
+	results := make([]*gpu.HostBuf, items)
+
+	// The producer stage: one stream per item (the paper's pattern for
+	// managing dependencies between transfers and kernels), async copies on
+	// page-locked memory.
+	type inFlight struct {
+		idx int
+		ev  *cuda.Event
+	}
+	pending := des.NewQueue[inFlight](sim, "pending", items)
+	sim.Spawn("producer", func(p *des.Proc) {
+		for i := 0; i < items; i++ {
+			st := rt.StreamCreate(p)
+			d, err := rt.Malloc(p, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			h := rt.HostAlloc(n)
+			for j := range h.Data {
+				h.Data[j] = byte(i + 1)
+			}
+			results[i] = h
+			rt.MemcpyAsync(p, d, 0, h, 0, n, cuda.MemcpyHostToDevice, st)
+			rt.LaunchKernel(p, scaleSpec, gpu.Grid1D(n, 128), st, d, n)
+			rt.MemcpyAsync(p, d, 0, h, 0, n, cuda.MemcpyDeviceToHost, st)
+			pending.Put(p, inFlight{idx: i, ev: rt.EventRecord(p, st)})
+		}
+		pending.Close()
+	})
+	// The consumer stage synchronizes each item's event before using the
+	// data, exactly as the paper's last stage does.
+	sim.Spawn("consumer", func(p *des.Proc) {
+		for {
+			it, ok := pending.Get(p)
+			if !ok {
+				return
+			}
+			rt.EventSynchronize(p, it.ev)
+			want := byte(it.idx+1) * 3
+			if results[it.idx].Data[0] != want {
+				log.Fatalf("item %d: got %d, want %d", it.idx, results[it.idx].Data[0], want)
+			}
+		}
+	})
+
+	end, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := dev.Stats()
+	fmt.Printf("processed %d items of %d KiB in %.3f ms of virtual time\n",
+		items, n/1024, float64(end)/1e6)
+	fmt.Printf("device: %d kernels, %.1f MB H2D, %.1f MB D2H\n",
+		st.KernelsLaunched, float64(st.BytesH2D)/1e6, float64(st.BytesD2H)/1e6)
+	fmt.Printf("engine busy: compute %.3f ms, H2D %.3f ms, D2H %.3f ms (overlap ratio %.2f)\n",
+		st.KernelBusy.Seconds()*1e3, st.CopyBusyH2D.Seconds()*1e3, st.CopyBusyD2H.Seconds()*1e3,
+		(st.KernelBusy+st.CopyBusyH2D+st.CopyBusyD2H).Seconds()/end.Seconds())
+}

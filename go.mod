@@ -1,0 +1,3 @@
+module streamgpu
+
+go 1.22

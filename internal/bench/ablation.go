@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamgpu/internal/stats"
+	"streamgpu/internal/workload"
+)
+
+// SweepBatchRows is the ablation behind §IV-A's occupancy analysis: the
+// Titan XP holds 61,440 resident threads, so at 2,000 pixels per row the
+// device needs ≈30.7 rows per kernel call to fill up ("by sending batches
+// of 32 lines to the kernel function, we can achieve 44–45× speedup").
+// The sweep runs the batched pipeline at increasing rows-per-batch and
+// reports execution time; the knee sits where rows × dim crosses the
+// resident-thread capacity.
+func (pr *Prep) SweepBatchRows(api API, rowCounts []int) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation — rows per batch (%s, 1 GPU, 1 memory space)", api),
+		Unit:  "s",
+	}
+	seq := pr.SeqTime().Seconds()
+	saved := pr.Cfg.BatchRows
+	defer func() { pr.Cfg.BatchRows = saved }()
+	for _, rows := range rowCounts {
+		pr.Cfg.BatchRows = rows
+		sec := pr.RunBatched(api, 1, 1).Seconds()
+		t.Add(stats.Row{
+			Label:   fmt.Sprintf("%3d rows (%6d threads)", rows, rows*pr.Cfg.Params.Dim),
+			Value:   sec,
+			Speedup: seq / sec,
+		})
+	}
+	return t
+}
+
+// SweepWorkers is the ablation for the paper's replica counts (19 workers
+// CPU-only): CPU-only speedup as a function of the compute stage's
+// replication degree, saturating at the host's core-equivalents.
+func (pr *Prep) SweepWorkers(fw Framework, workerCounts []int) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation — CPU workers (%s)", fw),
+		Unit:  "s",
+	}
+	seq := pr.SeqTime().Seconds()
+	for _, w := range workerCounts {
+		sec := pr.RunCPUPipeline(fw, w).Seconds()
+		t.Add(stats.Row{
+			Label:   fmt.Sprintf("%2d workers", w),
+			Value:   sec,
+			Speedup: seq / sec,
+		})
+	}
+	return t
+}
+
+// SweepDedupBatchSize is the ablation behind §IV-B's fragmentation choice:
+// Dedup throughput as a function of the fixed batch size. Small batches
+// re-create the un-batched problem (launch overhead, low occupancy, more
+// per-batch commands); the paper settled on 1 MB after a 10 MB attempt ran
+// OpenCL out of memory.
+func SweepDedupBatchSize(spec workload.Spec, cal Calibration, v DedupVariant, batchSizes []int) *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Ablation — Dedup batch size (%s, %s)", spec.Kind, v.Label),
+		Unit:  "MB/s",
+	}
+	for _, bs := range batchSizes {
+		dp := NewDedupPrep(spec, bs)
+		end := dp.RunGPU(cal, v)
+		t.Add(stats.Row{
+			Label: fmt.Sprintf("%4d KiB batches", bs/1024),
+			Value: float64(dp.Size) / 1e6 / end.Seconds(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"streamgpu/internal/workload"
+)
+
+// The shape tests assert the paper's qualitative findings on a reduced
+// physical scale (TestConfig): orderings, crossovers and rough factors, not
+// absolute numbers. The full-scale regeneration lives in cmd/figures and
+// the root bench_test.go.
+
+var (
+	prepOnce sync.Once
+	prepVal  *Prep
+)
+
+// testPrep builds the shared iteration cache once per test binary.
+func testPrep() *Prep {
+	prepOnce.Do(func() { prepVal = NewPrep(TestConfig()) })
+	return prepVal
+}
+
+func speedup(pr *Prep, sec float64) float64 {
+	return pr.SeqTime().Seconds() / sec
+}
+
+func TestFig1LadderShape(t *testing.T) {
+	pr := testPrep()
+	naive := pr.RunRowPerKernel(CUDA, false).Seconds()
+	twoD := pr.RunRowPerKernel(CUDA, true).Seconds()
+	batch := pr.RunBatched(CUDA, 1, 1).Seconds()
+	overlap2 := pr.RunBatched(CUDA, 2, 1).Seconds()
+	overlap4 := pr.RunBatched(CUDA, 4, 1).Seconds()
+	twoGPU := pr.RunBatched(CUDA, 4, 2).Seconds()
+
+	// The ladder must be monotone in the paper's direction.
+	if !(twoD > naive) {
+		t.Errorf("2D grid (%.2fs) should be slower than 1D naive (%.2fs)", twoD, naive)
+	}
+	if !(naive > batch) {
+		t.Errorf("naive (%.2fs) should be slower than batched (%.2fs)", naive, batch)
+	}
+	if !(batch > overlap2*1.05) {
+		t.Errorf("batch sync (%.2fs) should be slower than 2x-mem overlap (%.2fs)", batch, overlap2)
+	}
+	if overlap4 > overlap2*1.01 {
+		t.Errorf("4x mem (%.2fs) should not be slower than 2x mem (%.2fs)", overlap4, overlap2)
+	}
+	if !(overlap4 > twoGPU*1.3) {
+		t.Errorf("2 GPUs (%.2fs) should clearly beat 1 GPU (%.2fs)", twoGPU, overlap4)
+	}
+
+	// Rough factors (wide bands; paper: 3.1/1.6/45/67-74/130).
+	if s := speedup(pr, naive); s < 1.5 || s > 6 {
+		t.Errorf("naive speedup %.1fx outside [1.5,6]", s)
+	}
+	if s := speedup(pr, batch); s < 20 || s > 80 {
+		t.Errorf("batch speedup %.1fx outside [20,80]", s)
+	}
+	if s := speedup(pr, overlap4); s < 40 || s > 110 {
+		t.Errorf("overlap speedup %.1fx outside [40,110]", s)
+	}
+	if s := speedup(pr, twoGPU); s < 70 || s > 200 {
+		t.Errorf("2-GPU speedup %.1fx outside [70,200]", s)
+	}
+}
+
+func TestFig1CUDAOpenCLParity(t *testing.T) {
+	// §V-A: CUDA and OpenCL deliver near-identical Mandelbrot performance,
+	// CUDA marginally ahead.
+	pr := testPrep()
+	c := pr.RunBatched(CUDA, 4, 1).Seconds()
+	o := pr.RunBatched(OpenCL, 4, 1).Seconds()
+	if o < c {
+		t.Errorf("OpenCL (%.3fs) should not beat CUDA (%.3fs)", o, c)
+	}
+	if o > c*1.10 {
+		t.Errorf("OpenCL (%.3fs) should be within 10%% of CUDA (%.3fs)", o, c)
+	}
+}
+
+func TestFig4CPUOnlyShape(t *testing.T) {
+	pr := testPrep()
+	cores := float64(pr.Cfg.Cal.EffectiveCores)
+	for _, fw := range []Framework{SPar, FastFlow, TBB} {
+		s := speedup(pr, pr.RunCPUPipeline(fw, pr.Cfg.CPUWorkers).Seconds())
+		// 19 workers on 17 core-equivalents: speedup close to 17 (paper ~17×).
+		if s < cores*0.8 || s > cores*1.05 {
+			t.Errorf("%s CPU-only speedup %.1fx outside [%.1f, %.1f]", fw, s, cores*0.8, cores*1.05)
+		}
+	}
+}
+
+func TestFig4FrameworksWithinNoise(t *testing.T) {
+	// The three models perform within a few percent of each other (§V-A).
+	pr := testPrep()
+	var min, max float64
+	for i, fw := range []Framework{SPar, FastFlow, TBB} {
+		v := pr.RunCPUPipeline(fw, pr.Cfg.CPUWorkers).Seconds()
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	if max > min*1.10 {
+		t.Errorf("framework spread too wide: min %.3fs, max %.3fs", min, max)
+	}
+}
+
+func TestFig4ComboBeatsSingleThreadOn2GPUs(t *testing.T) {
+	// §V-A: "When using two GPUs, the single thread on GPU degrades the
+	// performance since combining SPar, TBB, or FastFlow with CUDA
+	// increases the performance."
+	pr := testPrep()
+	single := pr.RunBatched(CUDA, 4*2, 2).Seconds()
+	combo := pr.RunComboPipeline(SPar, CUDA, 2, pr.Cfg.GPUWorkers).Seconds()
+	if combo >= single {
+		t.Errorf("SPar+CUDA on 2 GPUs (%.3fs) should beat single-threaded CUDA (%.3fs)", combo, single)
+	}
+}
+
+func TestFig4ComboNearGPUOnlyOn1GPU(t *testing.T) {
+	// §V-A: with one GPU, SPar+CUDA performs like CUDA alone.
+	pr := testPrep()
+	single := pr.RunBatched(CUDA, 4, 1).Seconds()
+	combo := pr.RunComboPipeline(SPar, CUDA, 1, pr.Cfg.GPUWorkers).Seconds()
+	ratio := combo / single
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("SPar+CUDA/CUDA ratio on 1 GPU = %.2f, want within [0.7, 1.3]", ratio)
+	}
+}
+
+// testDedupPrep builds a small dataset once.
+var (
+	dedupOnce sync.Once
+	dedupVal  *DedupPrep
+)
+
+func testDedupPrep() *DedupPrep {
+	dedupOnce.Do(func() {
+		dedupVal = NewDedupPrep(workload.Spec{Kind: workload.Linux, Size: 4 << 20, Seed: 2}, 128*1024)
+	})
+	return dedupVal
+}
+
+func TestFig5BatchOptimizationShape(t *testing.T) {
+	dp := testDedupPrep()
+	cal := Default()
+	noBatch := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: false, Spaces: 1, GPUs: 1})
+	batch := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: true, Spaces: 1, GPUs: 1})
+	if !(float64(noBatch) > float64(batch)*3) {
+		t.Errorf("no-batch (%v) should be at least 3x slower than batched (%v): the paper's central Dedup finding", noBatch, batch)
+	}
+}
+
+func TestFig5CUDA2xMemFlat(t *testing.T) {
+	// §V-B: 2× memory spaces do not help CUDA (realloc → pageable).
+	dp := testDedupPrep()
+	cal := Default()
+	one := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: true, Spaces: 1, GPUs: 1})
+	two := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: true, Spaces: 2, GPUs: 1})
+	diff := float64(one-two) / float64(one)
+	if diff > 0.05 || diff < -0.05 {
+		t.Errorf("CUDA 2x mem changed time by %.1f%%, want ~0 (pageable copies cannot overlap)", diff*100)
+	}
+}
+
+func TestFig5OpenCL2xMemGains(t *testing.T) {
+	// §V-B: 2× memory spaces do help OpenCL.
+	dp := testDedupPrep()
+	cal := Default()
+	one := dp.RunGPU(cal, DedupVariant{API: OpenCL, Batched: true, Spaces: 1, GPUs: 1})
+	two := dp.RunGPU(cal, DedupVariant{API: OpenCL, Batched: true, Spaces: 2, GPUs: 1})
+	if !(float64(one) > float64(two)*1.10) {
+		t.Errorf("OpenCL 2x mem (%v) should be at least 10%% faster than 1x (%v)", two, one)
+	}
+}
+
+func TestFig5CUDABestAt1GPU(t *testing.T) {
+	// §V-B: "The best results were achieved combining SPar with CUDA."
+	dp := testDedupPrep()
+	cal := Default()
+	cuda := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: true, Spaces: 1, GPUs: 1})
+	for _, v := range []DedupVariant{
+		{API: OpenCL, Batched: true, Spaces: 1, GPUs: 1},
+		{API: OpenCL, Batched: true, Spaces: 2, GPUs: 1},
+	} {
+		o := dp.RunGPU(cal, v)
+		if float64(o) < float64(cuda)*0.97 {
+			t.Errorf("OpenCL %+v (%v) should not beat CUDA batch (%v) at 1 GPU", v, o, cuda)
+		}
+	}
+}
+
+func TestFig5GPUBeatsCPU(t *testing.T) {
+	dp := testDedupPrep()
+	cal := Default()
+	cpu := dp.RunCPU(cal, 19)
+	gpu := dp.RunGPU(cal, DedupVariant{API: CUDA, Batched: true, Spaces: 1, GPUs: 1})
+	if gpu >= cpu {
+		t.Errorf("CUDA batched Dedup (%v) should beat CPU-only (%v)", gpu, cpu)
+	}
+}
+
+func TestFig5TwoGPUsScale(t *testing.T) {
+	dp := testDedupPrep()
+	cal := Default()
+	one := dp.RunGPU(cal, DedupVariant{API: OpenCL, Batched: true, Spaces: 2, GPUs: 1})
+	two := dp.RunGPU(cal, DedupVariant{API: OpenCL, Batched: true, Spaces: 2, GPUs: 2})
+	if !(float64(one) > float64(two)*1.05) {
+		t.Errorf("2 GPUs (%v) should beat 1 GPU (%v)", two, one)
+	}
+}
+
+func TestFig5DatasetOrdering(t *testing.T) {
+	// Linux (heavy duplication) must reach higher CPU throughput than
+	// Silesia (no duplication): dedup skips compression work.
+	cal := Default()
+	linux := testDedupPrep()
+	silesia := NewDedupPrep(workload.Spec{Kind: workload.Silesia, Size: 2 << 20, Seed: 3}, 128*1024)
+	tpLinux := float64(linux.Size) / linux.RunCPU(cal, 19).Seconds()
+	tpSilesia := float64(silesia.Size) / silesia.RunCPU(cal, 19).Seconds()
+	if tpLinux <= tpSilesia {
+		t.Errorf("Linux CPU throughput (%.0f B/s) should exceed Silesia (%.0f B/s)", tpLinux, tpSilesia)
+	}
+}
+
+func TestSeqTimeScalesWithWork(t *testing.T) {
+	pr := testPrep()
+	if pr.SeqTime() <= 0 {
+		t.Fatal("sequential time must be positive")
+	}
+	// Doubling the iteration cost doubles the modelled time.
+	cfg := pr.Cfg
+	cfg.Cal.CPUIterNs *= 2
+	pr2 := &Prep{Cfg: cfg, Cache: pr.Cache, TotalIters: pr.TotalIters, RowIters: pr.RowIters}
+	if pr2.SeqTime() != 2*pr.SeqTime() {
+		t.Errorf("SeqTime not linear in CPUIterNs")
+	}
+}
+
+func TestTablesComplete(t *testing.T) {
+	pr := testPrep()
+	f1 := pr.Fig1()
+	if len(f1.Rows) != 15 {
+		t.Errorf("Fig1 rows = %d, want 15", len(f1.Rows))
+	}
+	if _, ok := f1.Find("Sequential"); !ok {
+		t.Error("Fig1 missing Sequential row")
+	}
+	f4 := pr.Fig4(1)
+	if len(f4.Rows) != 12 {
+		t.Errorf("Fig4 rows = %d, want 12", len(f4.Rows))
+	}
+	dp := testDedupPrep()
+	f5 := Fig5(dp, Default())
+	if len(f5.Rows) != len(Fig5Variants()) {
+		t.Errorf("Fig5 rows = %d, want %d", len(f5.Rows), len(Fig5Variants()))
+	}
+}
+
+func TestAblationBatchRowsKnee(t *testing.T) {
+	// §IV-A: the device needs ~30.7 rows per kernel to reach full
+	// occupancy; time must fall steeply up to 32 rows and flatten after.
+	pr := testPrep()
+	tab := pr.SweepBatchRows(CUDA, []int{1, 4, 32, 64})
+	get := func(i int) float64 { return tab.Rows[i].Value }
+	if !(get(0) > get(1) && get(1) > get(2)) {
+		t.Errorf("time should fall with batch rows: %v, %v, %v", get(0), get(1), get(2))
+	}
+	if get(0)/get(2) < 3 {
+		t.Errorf("1 row -> 32 rows should give >= 3x: %v -> %v", get(0), get(2))
+	}
+	if get(2)/get(3) > 1.5 {
+		t.Errorf("32 -> 64 rows should be nearly flat: %v -> %v", get(2), get(3))
+	}
+}
+
+func TestAblationWorkersSaturate(t *testing.T) {
+	pr := testPrep()
+	tab := pr.SweepWorkers(SPar, []int{1, 4, 17, 25})
+	s := func(i int) float64 { return tab.Rows[i].Speedup }
+	if !(s(0) < s(1) && s(1) < s(2)) {
+		t.Errorf("speedup should grow with workers: %v %v %v", s(0), s(1), s(2))
+	}
+	// Beyond the host's 17 core-equivalents, no further gain.
+	if s(3) > s(2)*1.05 {
+		t.Errorf("25 workers (%.1fx) should not beat 17 (%.1fx) on a 17-core-equivalent host", s(3), s(2))
+	}
+}
+
+func TestAblationDedupBatchSize(t *testing.T) {
+	spec := workload.Spec{Kind: workload.Linux, Size: 2 << 20, Seed: 5}
+	v := DedupVariant{Label: "CUDA batch", API: CUDA, Batched: true, Spaces: 1, GPUs: 1}
+	tab := SweepDedupBatchSize(spec, Default(), v, []int{16 * 1024, 128 * 1024})
+	if tab.Rows[0].Value >= tab.Rows[1].Value {
+		t.Errorf("tiny batches (%.0f MB/s) should underperform large ones (%.0f MB/s)",
+			tab.Rows[0].Value, tab.Rows[1].Value)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Virtual time must be bit-reproducible across runs.
+	pr := testPrep()
+	if a, b := pr.RunBatched(CUDA, 2, 1), pr.RunBatched(CUDA, 2, 1); a != b {
+		t.Errorf("RunBatched not deterministic: %v vs %v", a, b)
+	}
+	if a, b := pr.RunComboPipeline(SPar, OpenCL, 2, 4), pr.RunComboPipeline(SPar, OpenCL, 2, 4); a != b {
+		t.Errorf("RunComboPipeline not deterministic: %v vs %v", a, b)
+	}
+	dp := testDedupPrep()
+	v := DedupVariant{API: CUDA, Batched: true, Spaces: 2, GPUs: 2}
+	if a, b := dp.RunGPU(Default(), v), dp.RunGPU(Default(), v); a != b {
+		t.Errorf("RunGPU not deterministic: %v vs %v", a, b)
+	}
+}

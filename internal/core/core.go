@@ -1,0 +1,307 @@
+// Package core implements the paper's primary contribution surface: a
+// SPar-style high-level stream-parallelism DSL.
+//
+// SPar [Griebler et al.] expresses stream parallelism with five C++11
+// attributes — ToStream, Stage, Input, Output, Replicate — and a
+// source-to-source compiler that turns annotated loops into FastFlow
+// pipelines and farms. Go has no attributes, so this package provides the
+// same five concepts as a declarative builder; Run applies SPar's
+// transformation rules and executes the result on the FastFlow-style
+// runtime in internal/ff:
+//
+//	pipe := core.NewToStream(core.Input("dim", "niter")).
+//		Stage(computeRow, core.Replicate(10), core.Input("row"), core.Output("img")).
+//		Stage(showLine, core.Input("img"))
+//	err := pipe.Run(source)
+//
+// The textual annotation form is parsed by internal/spanno, which produces
+// the same Graph this package builds programmatically.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"streamgpu/internal/ff"
+)
+
+// StageFunc is a stage body: consume one stream item, emit zero or more.
+type StageFunc func(item any, emit func(any))
+
+// Worker is a stateful stage replica. Each replica gets its own Worker
+// instance (created by the stage's factory), so per-replica state — GPU
+// streams, cl_kernel objects, scratch buffers — needs no locking.
+type Worker interface {
+	// Init runs once on the replica's thread before the first item
+	// (allocate GPU streams / kernel objects here, as §IV-A requires).
+	Init() error
+	// Process handles one stream item.
+	Process(item any, emit func(any))
+	// End runs after the last item.
+	End()
+}
+
+// FnWorker adapts a stateless StageFunc to Worker.
+type FnWorker StageFunc
+
+// Init implements Worker.
+func (FnWorker) Init() error { return nil }
+
+// Process implements Worker.
+func (f FnWorker) Process(item any, emit func(any)) { f(item, emit) }
+
+// End implements Worker.
+func (FnWorker) End() {}
+
+// StageDef is one annotated Stage.
+type StageDef struct {
+	Name      string
+	Replicate int
+	Inputs    []string
+	Outputs   []string
+	Offload   bool
+	make      func() Worker
+}
+
+// Option configures a ToStream region or a Stage (the auxiliary
+// attributes).
+type Option func(*options)
+
+type options struct {
+	name      string
+	replicate int
+	inputs    []string
+	outputs   []string
+	ordered   bool
+	queueCap  int
+	onDemand  bool
+	offload   bool
+}
+
+// Replicate sets the stage's parallelism degree (the spar::Replicate
+// attribute). Only valid on stages without shared mutable state.
+func Replicate(n int) Option { return func(o *options) { o.replicate = n } }
+
+// Input declares the variables a region or stage consumes (spar::Input).
+// Used for graph validation: a stage may only consume what flows to it.
+func Input(vars ...string) Option {
+	return func(o *options) { o.inputs = append(o.inputs, vars...) }
+}
+
+// Output declares the variables a region or stage produces (spar::Output).
+func Output(vars ...string) Option {
+	return func(o *options) { o.outputs = append(o.outputs, vars...) }
+}
+
+// Name labels a stage for graphs and error messages.
+func Name(s string) Option { return func(o *options) { o.name = s } }
+
+// Offload marks the stage as accelerator-eligible (spar::Pure), recorded in
+// the activity graph. Execution stays on the host runtime; the flag is the
+// hand-off point for the paper's future-work GPU code generation.
+func Offload() Option { return func(o *options) { o.offload = true } }
+
+// Ordered asks the generated graph to preserve stream order end to end
+// (SPar's -spar_ordered flag); replicated stages become ordered farms.
+func Ordered() Option { return func(o *options) { o.ordered = true } }
+
+// QueueCap sets the communication queue capacity of the generated graph.
+func QueueCap(n int) Option { return func(o *options) { o.queueCap = n } }
+
+// OnDemand selects on-demand task scheduling for replicated stages
+// (SPar's -spar_ondemand flag).
+func OnDemand() Option { return func(o *options) { o.onDemand = true } }
+
+// ToStream is an annotated streaming region under construction: the
+// spar::ToStream attribute plus its chain of Stages.
+type ToStream struct {
+	inputs   []string
+	stages   []*StageDef
+	ordered  bool
+	onDemand bool
+	queueCap int
+	err      error
+}
+
+// NewToStream opens a streaming region. Options Input, Ordered, OnDemand
+// and QueueCap apply to the whole region.
+func NewToStream(opts ...Option) *ToStream {
+	var o options
+	for _, op := range opts {
+		op(&o)
+	}
+	return &ToStream{
+		inputs:   o.inputs,
+		ordered:  o.ordered,
+		onDemand: o.onDemand,
+		queueCap: o.queueCap,
+	}
+}
+
+// Stage appends a stage with a stateless body. Use StageWorkers for
+// stateful replicas.
+func (t *ToStream) Stage(fn StageFunc, opts ...Option) *ToStream {
+	return t.StageWorkers(func() Worker { return FnWorker(fn) }, opts...)
+}
+
+// StageWorkers appends a stage whose replicas are created by factory —
+// one Worker per replica, each with its own Init/End lifecycle.
+func (t *ToStream) StageWorkers(factory func() Worker, opts ...Option) *ToStream {
+	var o options
+	o.replicate = 1
+	for _, op := range opts {
+		op(&o)
+	}
+	if o.name == "" {
+		o.name = fmt.Sprintf("S%d", len(t.stages)+1)
+	}
+	if o.replicate < 1 && t.err == nil {
+		t.err = fmt.Errorf("core: stage %s: Replicate(%d) must be >= 1", o.name, o.replicate)
+	}
+	t.stages = append(t.stages, &StageDef{
+		Name:      o.name,
+		Replicate: o.replicate,
+		Inputs:    o.inputs,
+		Outputs:   o.outputs,
+		Offload:   o.offload,
+		make:      factory,
+	})
+	return t
+}
+
+// Validate applies SPar's semantic rules: a ToStream needs at least one
+// Stage; declared stage Inputs must be satisfied by what flows into the
+// stage (region inputs plus all upstream Outputs).
+func (t *ToStream) Validate() error {
+	if t.err != nil {
+		return t.err
+	}
+	if len(t.stages) == 0 {
+		return errors.New("core: ToStream requires at least one Stage")
+	}
+	avail := make(map[string]bool)
+	for _, v := range t.inputs {
+		avail[v] = true
+	}
+	for _, s := range t.stages {
+		if len(t.inputs) > 0 && len(s.Inputs) > 0 {
+			for _, v := range s.Inputs {
+				if !avail[v] {
+					return fmt.Errorf("core: stage %s consumes %q, which no upstream stage or the ToStream region provides", s.Name, v)
+				}
+			}
+		}
+		for _, v := range s.Outputs {
+			avail[v] = true
+		}
+	}
+	return nil
+}
+
+// Graph describes the parallel activity graph SPar generates — the
+// pipeline/farm structure of Fig. 3.
+type Graph struct {
+	Ordered bool
+	Stages  []GraphStage
+}
+
+// GraphStage is one node of the activity graph.
+type GraphStage struct {
+	Name      string
+	Replicate int
+	// Offload marks the stage as accelerator-eligible (spar::Pure): the
+	// front-end's hook for the paper's future-work GPU code generation.
+	Offload bool
+}
+
+// Graph returns the activity graph (source stage first).
+func (t *ToStream) Graph() Graph {
+	g := Graph{Ordered: t.ordered}
+	g.Stages = append(g.Stages, GraphStage{Name: "ToStream", Replicate: 1})
+	for _, s := range t.stages {
+		g.Stages = append(g.Stages, GraphStage{Name: s.Name, Replicate: s.Replicate, Offload: s.Offload})
+	}
+	return g
+}
+
+// String renders the graph like the paper's activity diagrams:
+// ToStream → S1 ×10 → S2.
+func (g Graph) String() string {
+	var b strings.Builder
+	for i, s := range g.Stages {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(s.Name)
+		if s.Replicate > 1 {
+			fmt.Fprintf(&b, " ×%d", s.Replicate)
+		}
+		if s.Offload {
+			b.WriteString(" [gpu]")
+		}
+	}
+	if g.Ordered {
+		b.WriteString(" [ordered]")
+	}
+	return b.String()
+}
+
+// workerNode adapts a core.Worker to an ff.Node.
+type workerNode struct {
+	ff.NodeBase
+	w Worker
+}
+
+func (n *workerNode) Init() error { return n.w.Init() }
+func (n *workerNode) End()        { n.w.End() }
+func (n *workerNode) Svc(task any) any {
+	n.w.Process(task, n.SendOut)
+	return ff.GoOn
+}
+
+// sourceNode drives the region's generator function.
+type sourceNode struct {
+	ff.NodeBase
+	gen func(emit func(any))
+}
+
+func (n *sourceNode) Svc(any) any {
+	n.gen(n.SendOut)
+	return ff.EOS
+}
+
+// Run compiles the region to a FastFlow graph (SPar's source-to-source
+// transformation, applied at runtime) and executes it to completion.
+// source is the ToStream loop body: it emits every stream item, then
+// returns.
+func (t *ToStream) Run(source func(emit func(any))) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	stages := make([]any, 0, len(t.stages)+1)
+	stages = append(stages, &sourceNode{gen: source})
+	for _, s := range t.stages {
+		if s.Replicate == 1 {
+			stages = append(stages, &workerNode{w: s.make()})
+			continue
+		}
+		workers := make([]ff.Node, s.Replicate)
+		for i := range workers {
+			workers[i] = &workerNode{w: s.make()}
+		}
+		var fopts []ff.FarmOpt
+		if t.ordered {
+			fopts = append(fopts, ff.Ordered())
+		}
+		if t.onDemand {
+			fopts = append(fopts, ff.OnDemand())
+		}
+		stages = append(stages, ff.NewFarm(workers, fopts...))
+	}
+	pipe := ff.NewPipeline(stages...)
+	if t.queueCap > 0 {
+		pipe.SetQueueCap(t.queueCap)
+	}
+	return pipe.Run()
+}

@@ -1,0 +1,98 @@
+package dedup
+
+import (
+	"sync"
+
+	"streamgpu/internal/rabin"
+	"streamgpu/internal/sha1x"
+)
+
+// DefaultBatchSize is the paper's fixed fragmentation size: "we made it to
+// generate fixed batch sizes (1MB) and generate different block sizes with
+// rabin fingerprint".
+const DefaultBatchSize = 1 << 20
+
+// Batch is one stream item of the Dedup pipeline (Fig. 2): a fixed-size
+// slice of the input plus the Rabin block boundaries inside it.
+type Batch struct {
+	Seq      int
+	Data     []byte
+	StartPos []int32
+	// Per-block results filled by later stages, indexed like StartPos.
+	Hashes [][sha1x.Size]byte
+	Comp   [][]byte // nil entry: block was judged duplicate upstream
+}
+
+// NBlocks reports the number of blocks in the batch.
+func (b *Batch) NBlocks() int { return len(b.StartPos) }
+
+// Block returns the bounds of block k.
+func (b *Batch) Block(k int) (lo, hi int) {
+	lo = int(b.StartPos[k])
+	hi = len(b.Data)
+	if k+1 < len(b.StartPos) {
+		hi = int(b.StartPos[k+1])
+	}
+	return lo, hi
+}
+
+// Fragment cuts input into batches of batchSize bytes (the last one may be
+// short) and computes Rabin boundaries for each — the paper's stage 1,
+// always on the CPU.
+func Fragment(input []byte, batchSize int, emit func(*Batch)) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	chunker := rabin.NewChunker()
+	seq := 0
+	for off := 0; off < len(input); off += batchSize {
+		end := off + batchSize
+		if end > len(input) {
+			end = len(input)
+		}
+		data := input[off:end]
+		emit(&Batch{Seq: seq, Data: data, StartPos: chunker.Boundaries(data)})
+		seq++
+	}
+}
+
+// HashBlocks computes the SHA-1 of every block (the CPU path of stage 2).
+func (b *Batch) HashBlocks() {
+	b.Hashes = make([][sha1x.Size]byte, b.NBlocks())
+	for k := 0; k < b.NBlocks(); k++ {
+		lo, hi := b.Block(k)
+		b.Hashes[k] = sha1x.Sum20(b.Data[lo:hi])
+	}
+}
+
+// Store is the shared duplicate-detection table (stage 3). It is a
+// processing-time hint: the first processor of a hash wins and compresses;
+// the archive Writer makes the authoritative stream-order decision.
+type Store struct {
+	mu   sync.Mutex
+	seen map[[sha1x.Size]byte]struct{}
+}
+
+// NewStore creates an empty duplicate store.
+func NewStore() *Store {
+	return &Store{seen: make(map[[sha1x.Size]byte]struct{})}
+}
+
+// FirstSighting atomically records h and reports whether this call was the
+// first to see it.
+func (s *Store) FirstSighting(h [sha1x.Size]byte) bool {
+	s.mu.Lock()
+	_, dup := s.seen[h]
+	if !dup {
+		s.seen[h] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !dup
+}
+
+// Len reports the number of distinct hashes seen.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}

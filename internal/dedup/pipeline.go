@@ -1,0 +1,121 @@
+package dedup
+
+import (
+	"io"
+
+	"streamgpu/internal/core"
+	"streamgpu/internal/lzss"
+)
+
+// Options configures a compression run.
+type Options struct {
+	// BatchSize is the fragmentation size (default 1 MB).
+	BatchSize int
+	// Workers replicates the hash+compress stage (the paper uses 19).
+	Workers int
+}
+
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// CompressSeq is the single-threaded reference implementation: fragment,
+// hash, dedup, compress, write — one batch at a time.
+func CompressSeq(input []byte, w io.Writer, opt Options) (Stats, error) {
+	dw := NewWriter(w)
+	var firstErr error
+	Fragment(input, opt.batchSize(), func(b *Batch) {
+		if firstErr != nil {
+			return
+		}
+		b.HashBlocks()
+		for k := 0; k < b.NBlocks(); k++ {
+			lo, hi := b.Block(k)
+			if err := dw.WriteBlock(b.Hashes[k], b.Data[lo:hi], nil); err != nil {
+				firstErr = err
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return dw.Stats(), firstErr
+	}
+	// The sequential path always compresses inline; that is not a race
+	// fallback, so do not report it as one.
+	st := dw.Stats()
+	st.FallbackCompressions = 0
+	if err := dw.Close(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// processBatch is the replicated middle-stage body shared by the parallel
+// CPU pipelines: hash every block, consult the shared store, and compress
+// the blocks this worker saw first.
+func processBatch(b *Batch, store *Store) {
+	b.HashBlocks()
+	b.Comp = make([][]byte, b.NBlocks())
+	for k := 0; k < b.NBlocks(); k++ {
+		if store.FirstSighting(b.Hashes[k]) {
+			lo, hi := b.Block(k)
+			b.Comp[k] = lzss.Compress(b.Data[lo:hi])
+		}
+	}
+}
+
+// writeBatch is the ordered final-stage body: the authoritative
+// stream-order dedup decision plus archive output.
+func writeBatch(b *Batch, dw *Writer) error {
+	for k := 0; k < b.NBlocks(); k++ {
+		lo, hi := b.Block(k)
+		if err := dw.WriteBlock(b.Hashes[k], b.Data[lo:hi], b.Comp[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompressSPar runs the paper's CPU-only Dedup: a SPar ToStream region with
+// three stages — fragmentation (source), replicated hash/dedup/compress,
+// and ordered reorder+write — the structure of Griebler et al. [22].
+func CompressSPar(input []byte, w io.Writer, opt Options) (Stats, error) {
+	dw := NewWriter(w)
+	store := NewStore()
+	var writeErr error
+
+	ts := core.NewToStream(core.Ordered(), core.Input("input", "batchSize")).
+		Stage(func(item any, emit func(any)) {
+			b := item.(*Batch)
+			processBatch(b, store)
+			emit(b)
+		}, core.Replicate(opt.workers()), core.Name("hash+compress"),
+			core.Input("input", "batchSize"), core.Output("batch")).
+		Stage(func(item any, emit func(any)) {
+			if writeErr != nil {
+				return
+			}
+			writeErr = writeBatch(item.(*Batch), dw)
+		}, core.Name("reorder+write"), core.Input("batch"))
+
+	err := ts.Run(func(emit func(any)) {
+		Fragment(input, opt.batchSize(), func(b *Batch) { emit(b) })
+	})
+	if err == nil {
+		err = writeErr
+	}
+	if err == nil {
+		err = dw.Close()
+	}
+	return dw.Stats(), err
+}

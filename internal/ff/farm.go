@@ -1,0 +1,347 @@
+package ff
+
+import (
+	"fmt"
+	"sync"
+)
+
+// seqOut carries the ordered-farm bookkeeping: the outputs a worker
+// produced for input number seq (possibly none, possibly several via
+// SendOut).
+type seqOut struct {
+	seq  uint64
+	vals []any
+}
+
+// seqIn wraps an input with its sequence number on the way to a worker.
+type seqIn struct {
+	seq uint64
+	val any
+}
+
+// Farm is the FastFlow task-farm: an emitter scheduling tasks over
+// replicated workers and a collector gathering results (ff_farm /
+// ff_OFarm). Zero-value options give a round-robin, unordered farm with a
+// forwarding collector.
+type Farm struct {
+	workers   []Node
+	emitter   Node
+	collector Node
+	ordered   bool
+	onDemand  bool
+}
+
+// FarmOpt configures a Farm.
+type FarmOpt func(*Farm)
+
+// WithEmitter installs a custom emitter node. In a farm used as a
+// pipeline's first stage the emitter acts as the stream source.
+func WithEmitter(n Node) FarmOpt { return func(f *Farm) { f.emitter = n } }
+
+// WithCollector installs a custom collector node that post-processes every
+// gathered result.
+func WithCollector(n Node) FarmOpt { return func(f *Farm) { f.collector = n } }
+
+// Ordered makes the farm emit results in input order (ff_OFarm), the mode
+// Mandelbrot's display stage and Dedup's reorder stage need.
+func Ordered() FarmOpt { return func(f *Farm) { f.ordered = true } }
+
+// OnDemand switches scheduling from round-robin to on-demand: tasks go to
+// the first worker with queue space, balancing skewed workloads.
+func OnDemand() FarmOpt { return func(f *Farm) { f.onDemand = true } }
+
+// NewFarm builds a farm over the given worker nodes.
+func NewFarm(workers []Node, opts ...FarmOpt) *Farm {
+	if len(workers) == 0 {
+		panic("ff: farm with no workers")
+	}
+	f := &Farm{workers: workers}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// NWorkers reports the farm's parallelism degree.
+func (f *Farm) NWorkers() int { return len(f.workers) }
+
+// start wires the farm into a pipeline position. in == nil means the farm
+// is the first stage (its emitter must then generate the stream); out ==
+// nil means last stage.
+func (f *Farm) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+	if in == nil && f.emitter == nil {
+		panic("ff: farm used as source needs an emitter node")
+	}
+	nw := len(f.workers)
+	wqs := make([]*SPSC[any], nw) // emitter -> worker i
+	cqs := make([]*SPSC[any], nw) // worker i -> collector
+	for i := range wqs {
+		wqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
+		cqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
+	}
+
+	// --- emitter ---
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.runEmitter(pl, in, wqs)
+	}()
+
+	// --- workers ---
+	for i := range f.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.runWorker(pl, i, wqs[i], cqs[i])
+		}(i)
+	}
+
+	// --- collector ---
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.runCollector(pl, cqs, out)
+	}()
+}
+
+// runEmitter pulls tasks (from the pipeline input or by invoking a source
+// emitter) and schedules them over the workers.
+func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
+	var seq uint64
+	next := 0
+	schedule := func(v any) {
+		if f.ordered {
+			v = seqIn{seq: seq, val: v}
+			seq++
+		}
+		if f.onDemand {
+			var b backoff
+			b.spin = pl.spinning
+			for {
+				if wqs[next].TryPush(v) {
+					next = (next + 1) % len(wqs)
+					return
+				}
+				next = (next + 1) % len(wqs)
+				if next == 0 {
+					b.wait()
+				}
+			}
+		}
+		wqs[next].Push(v)
+		next = (next + 1) % len(wqs)
+	}
+
+	em := f.emitter
+	if em != nil {
+		if on, ok := em.(OutNode); ok {
+			on.setOut(schedule)
+		}
+		if init, ok := em.(Initializer); ok {
+			if err := init.Init(); err != nil {
+				pl.reportErr(fmt.Errorf("ff: emitter init: %w", err))
+				em = nil // degrade to forwarding, then EOS below
+			}
+		}
+	}
+	switch {
+	case in == nil:
+		// Farm as source: the emitter generates the stream.
+		for em != nil {
+			r := em.Svc(nil)
+			if r == EOS {
+				break
+			}
+			if r != GoOn {
+				schedule(r)
+			}
+		}
+	case em == nil:
+		// Pure scheduler: forward pipeline input.
+		for {
+			t := in.Pop()
+			if t == EOS {
+				break
+			}
+			schedule(t)
+		}
+	default:
+		for {
+			t := in.Pop()
+			if t == EOS {
+				break
+			}
+			r := em.Svc(t)
+			if r == EOS {
+				drain(in)
+				break
+			}
+			if r != GoOn {
+				schedule(r)
+			}
+		}
+	}
+	if em != nil {
+		if fin, ok := em.(Finalizer); ok {
+			fin.End()
+		}
+	}
+	for _, wq := range wqs {
+		wq.Push(EOS)
+	}
+}
+
+// runWorker executes one replica's service loop.
+func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
+	w := f.workers[i]
+	// Multi-output plumbing: unordered workers push straight to their
+	// collector queue; ordered workers accumulate into the per-input
+	// output list so sequencing survives SendOut and GoOn.
+	var pending *seqOut
+	if on, ok := w.(OutNode); ok {
+		on.setOut(func(v any) {
+			if f.ordered {
+				pending.vals = append(pending.vals, v)
+				return
+			}
+			cq.Push(v)
+		})
+	}
+	if init, ok := w.(Initializer); ok {
+		if err := init.Init(); err != nil {
+			pl.reportErr(fmt.Errorf("ff: worker %d init: %w", i, err))
+			drain(wq)
+			cq.Push(EOS)
+			return
+		}
+	}
+	for {
+		t := wq.Pop()
+		if t == EOS {
+			break
+		}
+		if f.ordered {
+			si := t.(seqIn)
+			pending = &seqOut{seq: si.seq}
+			r := w.Svc(si.val)
+			if r != GoOn && r != EOS {
+				pending.vals = append(pending.vals, r)
+			}
+			cq.Push(*pending)
+			pending = nil
+			if r == EOS {
+				drain(wq)
+				break
+			}
+			continue
+		}
+		r := w.Svc(t)
+		if r == EOS {
+			drain(wq)
+			break
+		}
+		if r != GoOn {
+			cq.Push(r)
+		}
+	}
+	if fin, ok := w.(Finalizer); ok {
+		fin.End()
+	}
+	cq.Push(EOS)
+}
+
+// runCollector gathers worker results (round-robin over the per-worker
+// queues), restores order if requested, applies the collector node, and
+// forwards downstream.
+func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
+	col := f.collector
+	send := func(v any) {
+		if out != nil {
+			out.Push(v)
+		}
+	}
+	if col != nil {
+		if on, ok := col.(OutNode); ok {
+			on.setOut(send)
+		}
+		if init, ok := col.(Initializer); ok {
+			if err := init.Init(); err != nil {
+				pl.reportErr(fmt.Errorf("ff: collector init: %w", err))
+				col = nil
+			}
+		}
+	}
+	handle := func(v any) {
+		if col != nil {
+			r := col.Svc(v)
+			if r != GoOn && r != EOS {
+				send(r)
+			}
+			return
+		}
+		send(v)
+	}
+
+	// Ordered reorder buffer.
+	buffered := make(map[uint64][]any)
+	var nextSeq uint64
+	flush := func() {
+		for {
+			vals, ok := buffered[nextSeq]
+			if !ok {
+				return
+			}
+			delete(buffered, nextSeq)
+			for _, v := range vals {
+				handle(v)
+			}
+			nextSeq++
+		}
+	}
+
+	eos := 0
+	idx := 0
+	var b backoff
+	b.spin = pl.spinning
+	for eos < len(cqs) {
+		progressed := false
+		for range cqs {
+			q := cqs[idx]
+			idx = (idx + 1) % len(cqs)
+			v, ok := q.TryPop()
+			if !ok {
+				continue
+			}
+			progressed = true
+			b.reset()
+			if v == EOS {
+				eos++
+				continue
+			}
+			if f.ordered {
+				so := v.(seqOut)
+				buffered[so.seq] = so.vals
+				flush()
+				continue
+			}
+			handle(v)
+		}
+		if !progressed {
+			b.wait()
+		}
+	}
+	if f.ordered {
+		flush()
+		if len(buffered) > 0 {
+			pl.reportErr(fmt.Errorf("ff: ordered farm lost %d sequences", len(buffered)))
+		}
+	}
+	if col != nil {
+		if fin, ok := col.(Finalizer); ok {
+			fin.End()
+		}
+	}
+	if out != nil {
+		out.Push(EOS)
+	}
+}

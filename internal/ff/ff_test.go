@@ -1,0 +1,627 @@
+package ff
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSPSCBasic(t *testing.T) {
+	q := NewSPSC[int](4, false)
+	if q.Cap() != 4 {
+		t.Errorf("Cap = %d, want 4", q.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push to full queue should fail")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v; want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty queue should fail")
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 2}, {2, 2}, {3, 4}, {5, 8}, {512, 512}, {513, 1024}} {
+		if got := NewSPSC[int](tc.in, false).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCConcurrentTransfer(t *testing.T) {
+	const n = 100000
+	q := NewSPSC[int](64, false)
+	var sum int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			q.Push(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		prev := 0
+		for i := 0; i < n; i++ {
+			v := q.Pop()
+			if v != prev+1 {
+				t.Errorf("out of order: got %d after %d", v, prev)
+				return
+			}
+			prev = v
+			sum += int64(v)
+		}
+	}()
+	wg.Wait()
+	if want := int64(n) * (n + 1) / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestSPSCSpinningMode(t *testing.T) {
+	const n = 10000
+	q := NewSPSC[int](8, true)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	got := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if q.Pop() == i {
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	if got != n {
+		t.Errorf("received %d in-order items, want %d", got, n)
+	}
+}
+
+func TestPipelineThreeStages(t *testing.T) {
+	var out []int
+	p := NewPipeline(
+		SliceSource([]int{1, 2, 3, 4, 5}),
+		F(func(task any) any { return task.(int) * 10 }),
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30, 40, 50}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestPipelineGoOnFilters(t *testing.T) {
+	var out []int
+	p := NewPipeline(
+		SliceSource([]int{1, 2, 3, 4, 5, 6}),
+		F(func(task any) any {
+			if task.(int)%2 == 0 {
+				return task
+			}
+			return GoOn
+		}),
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 2 || out[2] != 6 {
+		t.Fatalf("out = %v, want evens", out)
+	}
+}
+
+func TestPipelineEarlyEOS(t *testing.T) {
+	var out []int
+	p := NewPipeline(
+		SliceSource(make([]int, 1000)), // plenty of input
+		F(func(task any) any { return EOS }),
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("early EOS should suppress all output, got %d items", len(out))
+	}
+}
+
+// multiOut emits each input twice via SendOut.
+type multiOut struct {
+	NodeBase
+}
+
+func (m *multiOut) Svc(task any) any {
+	m.SendOut(task)
+	m.SendOut(task)
+	return GoOn
+}
+
+func TestSendOutMultipleOutputs(t *testing.T) {
+	var out []int
+	p := NewPipeline(
+		SliceSource([]int{1, 2, 3}),
+		&multiOut{},
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 2, 2, 3, 3}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+// initFail fails at svc_init.
+type initFail struct{}
+
+func (initFail) Svc(task any) any { return task }
+func (initFail) Init() error      { return errors.New("boom") }
+
+func TestInitErrorPropagates(t *testing.T) {
+	p := NewPipeline(
+		SliceSource([]int{1, 2, 3}),
+		initFail{},
+		Sink(func(any) {}),
+	)
+	if err := p.Run(); err == nil {
+		t.Fatal("init failure should surface from Run")
+	}
+}
+
+// lifecycle records Init/End calls.
+type lifecycle struct {
+	inits, ends atomic.Int32
+}
+
+func (l *lifecycle) Svc(task any) any { return task }
+func (l *lifecycle) Init() error      { l.inits.Add(1); return nil }
+func (l *lifecycle) End()             { l.ends.Add(1) }
+
+func TestInitEndCalledOnce(t *testing.T) {
+	lc := &lifecycle{}
+	p := NewPipeline(SliceSource([]int{1}), lc, Sink(func(any) {}))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.inits.Load() != 1 || lc.ends.Load() != 1 {
+		t.Errorf("inits=%d ends=%d, want 1,1", lc.inits.Load(), lc.ends.Load())
+	}
+}
+
+func TestFarmUnorderedProcessesAll(t *testing.T) {
+	const n = 500
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	workers := make([]Node, 4)
+	for i := range workers {
+		workers[i] = F(func(task any) any { return task.(int) + 1000 })
+	}
+	p := NewPipeline(
+		SliceSource(items),
+		NewFarm(workers),
+		Sink(func(task any) {
+			mu.Lock()
+			seen[task.(int)] = true
+			mu.Unlock()
+		}),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d results, want %d", len(seen), n)
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i+1000] {
+			t.Fatalf("missing result for input %d", i)
+		}
+	}
+}
+
+func TestFarmOrderedPreservesOrder(t *testing.T) {
+	const n = 300
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	workers := make([]Node, 5)
+	for i := range workers {
+		workers[i] = F(func(task any) any { return task })
+	}
+	var out []int
+	p := NewPipeline(
+		SliceSource(items),
+		NewFarm(workers, Ordered()),
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d: ordered farm violated order", i, v)
+		}
+	}
+}
+
+func TestFarmOrderedWithGoOn(t *testing.T) {
+	// Workers dropping items (GoOn) must not stall the reorder buffer.
+	const n = 100
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	workers := make([]Node, 3)
+	for i := range workers {
+		workers[i] = F(func(task any) any {
+			if task.(int)%3 == 0 {
+				return GoOn
+			}
+			return task
+		})
+	}
+	var out []int
+	p := NewPipeline(
+		SliceSource(items),
+		NewFarm(workers, Ordered()),
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	count := 0
+	for _, v := range out {
+		if v%3 == 0 {
+			t.Fatalf("dropped item %d leaked through", v)
+		}
+		if v <= prev {
+			t.Fatalf("order violated: %d after %d", v, prev)
+		}
+		prev = v
+		count++
+	}
+	if want := n - (n+2)/3; count != want {
+		t.Fatalf("got %d items, want %d", count, want)
+	}
+}
+
+func TestFarmOnDemandBalancesSkew(t *testing.T) {
+	// One poison-slow worker; on-demand scheduling should route most work
+	// to the others while round-robin would assign it 1/4 of all tasks.
+	const n = 400
+	items := make([]int, n)
+	var slowCount atomic.Int32
+	workers := make([]Node, 4)
+	for i := range workers {
+		i := i
+		workers[i] = F(func(task any) any {
+			if i == 0 {
+				slowCount.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			}
+			return task
+		})
+	}
+	p := NewPipeline(
+		SliceSource(items),
+		NewFarm(workers, OnDemand()),
+		Sink(func(any) {}),
+	).SetQueueCap(2)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := slowCount.Load(); got >= n/4 {
+		t.Errorf("slow worker got %d of %d tasks; on-demand should starve it below the round-robin share %d", got, n, n/4)
+	}
+}
+
+// emitterSource generates k items from inside a farm emitter (farm as
+// pipeline source).
+type emitterSource struct {
+	k, i int
+}
+
+func (e *emitterSource) Svc(any) any {
+	if e.i >= e.k {
+		return EOS
+	}
+	e.i++
+	return e.i
+}
+
+func TestFarmAsSource(t *testing.T) {
+	workers := make([]Node, 3)
+	for i := range workers {
+		workers[i] = F(func(task any) any { return task.(int) * 2 })
+	}
+	var sum int
+	var mu sync.Mutex
+	p := NewPipeline(
+		NewFarm(workers, WithEmitter(&emitterSource{k: 50})),
+		Sink(func(task any) {
+			mu.Lock()
+			sum += task.(int)
+			mu.Unlock()
+		}),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 50 * 51; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestFarmWithCollector(t *testing.T) {
+	workers := make([]Node, 2)
+	for i := range workers {
+		workers[i] = F(func(task any) any { return task })
+	}
+	var n atomic.Int32
+	col := F(func(task any) any {
+		n.Add(1)
+		return task
+	})
+	var out int
+	p := NewPipeline(
+		SliceSource([]int{1, 2, 3, 4}),
+		NewFarm(workers, WithCollector(col)),
+		Sink(func(any) { out++ }),
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 || out != 4 {
+		t.Errorf("collector saw %d, sink saw %d; want 4,4", n.Load(), out)
+	}
+}
+
+func TestFarmAsLastStage(t *testing.T) {
+	var n atomic.Int32
+	workers := make([]Node, 3)
+	for i := range workers {
+		workers[i] = F(func(task any) any {
+			n.Add(1)
+			return GoOn
+		})
+	}
+	p := NewPipeline(SliceSource(make([]int, 42)), NewFarm(workers))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 42 {
+		t.Errorf("workers processed %d, want 42", n.Load())
+	}
+}
+
+func TestPipelineInvalidStagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-Node stage should panic")
+		}
+	}()
+	NewPipeline("not a node")
+}
+
+func TestEmptyPipelinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty pipeline should panic")
+		}
+	}()
+	NewPipeline()
+}
+
+func TestFarmNoWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("farm with no workers should panic")
+		}
+	}()
+	NewFarm(nil)
+}
+
+// Property: an ordered farm is an identity transformation on any input
+// slice, for any worker count and queue capacity.
+func TestOrderedFarmIdentityProperty(t *testing.T) {
+	f := func(vals []int32, wSeed, qSeed uint8) bool {
+		nw := int(wSeed)%6 + 1
+		qc := int(qSeed)%30 + 2
+		workers := make([]Node, nw)
+		for i := range workers {
+			workers[i] = F(func(task any) any { return task })
+		}
+		var out []int32
+		p := NewPipeline(
+			SliceSource(vals),
+			NewFarm(workers, Ordered()),
+			Sink(func(task any) { out = append(out, task.(int32)) }),
+		).SetQueueCap(qc)
+		if err := p.Run(); err != nil {
+			return false
+		}
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPipelineItemThroughput(b *testing.B) {
+	n := b.N
+	i := 0
+	p := NewPipeline(
+		Source(func() (any, bool) {
+			if i >= n {
+				return nil, false
+			}
+			i++
+			return i, true
+		}),
+		F(func(task any) any { return task }),
+		Sink(func(any) {}),
+	)
+	b.ResetTimer()
+	if err := p.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFarm4Workers(b *testing.B) {
+	n := b.N
+	i := 0
+	workers := make([]Node, 4)
+	for w := range workers {
+		workers[w] = F(func(task any) any { return task })
+	}
+	p := NewPipeline(
+		Source(func() (any, bool) {
+			if i >= n {
+				return nil, false
+			}
+			i++
+			return i, true
+		}),
+		NewFarm(workers),
+		Sink(func(any) {}),
+	)
+	b.ResetTimer()
+	if err := p.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSPSCPingPong(b *testing.B) {
+	q := NewSPSC[int](512, true)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			q.Pop()
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+	}
+	<-done
+}
+
+func TestNestedPipeline(t *testing.T) {
+	// pipe( source, pipe( +1, *2 ), sink ) — FastFlow pipelines compose.
+	inner := NewPipeline(
+		F(func(task any) any { return task.(int) + 1 }),
+		F(func(task any) any { return task.(int) * 2 }),
+	)
+	var out []int
+	outer := NewPipeline(
+		SliceSource([]int{1, 2, 3}),
+		inner,
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := outer.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 6, 8}
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestNestedPipelineWithFarm(t *testing.T) {
+	// A nested pipeline containing a farm, composed inside an outer
+	// pipeline.
+	workers := make([]Node, 3)
+	for i := range workers {
+		workers[i] = F(func(task any) any { return task.(int) * 10 })
+	}
+	inner := NewPipeline(
+		F(func(task any) any { return task.(int) + 1 }),
+		NewFarm(workers, Ordered()),
+	)
+	var out []int
+	outer := NewPipeline(
+		SliceSource([]int{0, 1, 2, 3, 4}),
+		inner,
+		Sink(func(task any) { out = append(out, task.(int)) }),
+	)
+	if err := outer.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != (i+1)*10 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, (i+1)*10)
+		}
+	}
+}
+
+func TestNestedPipelineAsSource(t *testing.T) {
+	// A nested pipeline whose first stage is a source.
+	var out []int
+	inner := NewPipeline(
+		SliceSource([]int{5, 6}),
+		F(func(task any) any { return task.(int) * 3 }),
+	)
+	outer := NewPipeline(inner, Sink(func(task any) { out = append(out, task.(int)) }))
+	if err := outer.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 15 || out[1] != 18 {
+		t.Fatalf("out = %v", out)
+	}
+}

@@ -1,0 +1,208 @@
+package ff
+
+import (
+	"fmt"
+	"sync"
+)
+
+// defaultQueueCap is the default bounded-queue capacity between nodes,
+// matching FastFlow's default of 512 slots.
+const defaultQueueCap = 512
+
+// stage is anything that can occupy a pipeline position: a Node or a *Farm.
+type stage interface {
+	start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup)
+}
+
+// Pipeline composes stages connected by SPSC queues, one thread per plain
+// node (ff_pipeline). Stages are Nodes or *Farms.
+type Pipeline struct {
+	stages   []stage
+	queueCap int
+	spinning bool
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// NewPipeline builds a pipeline from stages. Each stage must be a Node, a
+// *Farm, or a nested *Pipeline (FastFlow pipelines compose); anything else
+// panics at construction (fail fast, as the FastFlow templates do at
+// compile time).
+func NewPipeline(stages ...any) *Pipeline {
+	p := &Pipeline{queueCap: defaultQueueCap}
+	for i, s := range stages {
+		switch v := s.(type) {
+		case *Farm:
+			p.stages = append(p.stages, v)
+		case *Pipeline:
+			p.stages = append(p.stages, v)
+		case Node:
+			p.stages = append(p.stages, &nodeStage{node: v})
+		default:
+			panic(fmt.Sprintf("ff: pipeline stage %d is %T, want Node, *Farm or *Pipeline", i, s))
+		}
+	}
+	if len(p.stages) == 0 {
+		panic("ff: empty pipeline")
+	}
+	return p
+}
+
+// start wires this pipeline as a stage of an enclosing pipeline: its first
+// stage consumes the outer input, its last feeds the outer output, and
+// internal queues connect the rest. Errors propagate to the outer pipeline.
+func (p *Pipeline) start(outer *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+	n := len(p.stages)
+	queues := make([]*SPSC[any], n-1)
+	cap := p.queueCap
+	if cap == 0 {
+		cap = outer.queueCap
+	}
+	for i := range queues {
+		queues[i] = NewSPSC[any](cap, outer.spinning)
+	}
+	for i, s := range p.stages {
+		sin, sout := in, out
+		if i > 0 {
+			sin = queues[i-1]
+		}
+		if i < n-1 {
+			sout = queues[i]
+		}
+		s.start(outer, sin, sout, wg)
+	}
+}
+
+// SetQueueCap sets the capacity of inter-stage queues (default 512).
+func (p *Pipeline) SetQueueCap(n int) *Pipeline {
+	if n < 2 {
+		n = 2
+	}
+	p.queueCap = n
+	return p
+}
+
+// SetSpinning selects non-blocking (busy-wait) queue mode; default is
+// blocking mode.
+func (p *Pipeline) SetSpinning(on bool) *Pipeline {
+	p.spinning = on
+	return p
+}
+
+// reportErr records a node failure; the first one is returned by Run.
+func (p *Pipeline) reportErr(err error) {
+	p.errMu.Lock()
+	p.errs = append(p.errs, err)
+	p.errMu.Unlock()
+}
+
+// Run starts every stage and blocks until the stream has fully drained
+// (run_and_wait_end). It returns the first node error, if any.
+func (p *Pipeline) Run() error {
+	n := len(p.stages)
+	queues := make([]*SPSC[any], n-1)
+	for i := range queues {
+		queues[i] = NewSPSC[any](p.queueCap, p.spinning)
+	}
+	var wg sync.WaitGroup
+	for i, s := range p.stages {
+		var in, out *SPSC[any]
+		if i > 0 {
+			in = queues[i-1]
+		}
+		if i < n-1 {
+			out = queues[i]
+		}
+		s.start(p, in, out, &wg)
+	}
+	wg.Wait()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if len(p.errs) > 0 {
+		return p.errs[0]
+	}
+	return nil
+}
+
+// nodeStage runs a single Node on its own goroutine.
+type nodeStage struct {
+	node Node
+}
+
+func (ns *nodeStage) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runNode(pl, ns.node, in, out)
+	}()
+}
+
+// runNode is the generic node service loop shared by pipeline stages and
+// farm roles: init, consume/produce until EOS, finalize, propagate EOS.
+func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
+	send := func(v any) {
+		if out != nil {
+			out.Push(v)
+		}
+	}
+	if on, ok := n.(OutNode); ok {
+		on.setOut(send)
+	}
+	if init, ok := n.(Initializer); ok {
+		if err := init.Init(); err != nil {
+			pl.reportErr(fmt.Errorf("ff: init: %w", err))
+			if in != nil {
+				drain(in)
+			}
+			if out != nil {
+				out.Push(EOS)
+			}
+			return
+		}
+	}
+	if in == nil {
+		// Source: svc(nil) until EOS.
+		for {
+			r := n.Svc(nil)
+			if r == EOS {
+				break
+			}
+			if r != GoOn {
+				send(r)
+			}
+		}
+	} else {
+		for {
+			t := in.Pop()
+			if t == EOS {
+				break
+			}
+			r := n.Svc(t)
+			if r == EOS {
+				// Early termination: keep consuming so upstream can
+				// finish, but drop the items.
+				drain(in)
+				break
+			}
+			if r != GoOn {
+				send(r)
+			}
+		}
+	}
+	if f, ok := n.(Finalizer); ok {
+		f.End()
+	}
+	if out != nil {
+		out.Push(EOS)
+	}
+}
+
+// drain consumes and discards items until EOS.
+func drain(in *SPSC[any]) {
+	for {
+		if in.Pop() == EOS {
+			return
+		}
+	}
+}

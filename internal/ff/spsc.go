@@ -1,0 +1,131 @@
+// Package ff is a FastFlow-style stream-parallel runtime: pipelines and
+// farms of nodes running on dedicated goroutines, connected by bounded
+// lock-free single-producer/single-consumer queues.
+//
+// The architecture follows FastFlow's building-block model [Aldinucci et
+// al.]: every node owns a thread of execution; communication topologies
+// (pipeline, farm, ordered farm) are composed from SPSC channels only —
+// a farm's emitter owns one queue per worker and its collector gathers from
+// one queue per worker, so no queue ever has two producers or two
+// consumers. The runtime supports blocking and spinning modes, round-robin
+// and on-demand task scheduling, and an ordered farm that restores input
+// order at the collector (used by Mandelbrot's display stage and Dedup's
+// reorder stage).
+package ff
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLinePad separates hot atomics to avoid false sharing between the
+// producer and consumer cores.
+type cacheLinePad struct{ _ [64]byte }
+
+// SPSC is a bounded lock-free single-producer/single-consumer ring queue —
+// the communication primitive FastFlow builds everything on. Exactly one
+// goroutine may call the producer methods (TryPush/Push) and exactly one
+// the consumer methods (TryPop/Pop).
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to read (consumer-owned)
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to write (producer-owned)
+	_    cacheLinePad
+	// spin selects the wait strategy for the blocking Push/Pop helpers.
+	spin bool
+}
+
+// NewSPSC creates a queue with capacity rounded up to a power of two
+// (minimum 2). spinning selects busy-wait backoff for the blocking helpers;
+// otherwise they yield and briefly sleep under contention (FastFlow's
+// blocking mode).
+func NewSPSC[T any](capacity int, spinning bool) *SPSC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, c), mask: uint64(c - 1), spin: spinning}
+}
+
+// Cap reports the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len reports an instantaneous element count (approximate under
+// concurrency).
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryPush appends v if there is room. Producer-side only.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryPop removes the oldest element if present. Consumer-side only.
+func (q *SPSC[T]) TryPop() (v T, ok bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return v, false
+	}
+	v = q.buf[h&q.mask]
+	var zero T
+	q.buf[h&q.mask] = zero // release the reference for GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Push blocks (with backoff) until v is enqueued.
+func (q *SPSC[T]) Push(v T) {
+	var b backoff
+	b.spin = q.spin
+	for !q.TryPush(v) {
+		b.wait()
+	}
+}
+
+// Pop blocks (with backoff) until an element is available.
+func (q *SPSC[T]) Pop() T {
+	var b backoff
+	b.spin = q.spin
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		b.wait()
+	}
+}
+
+// backoff implements the graduated wait strategy: spin, then yield, then —
+// in blocking mode — sleep briefly. Spinning mode never sleeps, trading CPU
+// for latency as FastFlow's non-blocking mode does.
+type backoff struct {
+	n    int
+	spin bool
+}
+
+func (b *backoff) wait() {
+	switch {
+	case b.n < 64:
+		// busy spin
+	case b.spin || b.n < 192:
+		runtime.Gosched()
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.n++
+}
+
+func (b *backoff) reset() { b.n = 0 }

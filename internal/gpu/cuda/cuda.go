@@ -1,0 +1,173 @@
+// Package cuda is a CUDA-runtime-flavoured facade over the device model in
+// internal/gpu. It mirrors the API surface and the sharp edges §IV of the
+// paper runs into:
+//
+//   - a per-thread "current device" selected with SetDevice (the paper:
+//     "the cudaSetDevice function also has thread-side effects, thus, it
+//     must be called after initializing each thread");
+//   - MemcpyAsync that is only truly asynchronous for page-locked host
+//     memory — with pageable memory the calling thread blocks for the whole
+//     transfer, which is why Dedup's realloc'd buffers defeat the 2×-memory
+//     overlap optimization;
+//   - streams (in-order queues) and events for dependency management.
+//
+// "Threads" here are simulated CPU threads: des.Proc processes.
+package cuda
+
+import (
+	"fmt"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+)
+
+// MemcpyKind selects a transfer direction, as in the CUDA runtime.
+type MemcpyKind int
+
+const (
+	MemcpyHostToDevice MemcpyKind = iota
+	MemcpyDeviceToHost
+)
+
+// Runtime is the CUDA runtime state for one simulation: the visible devices
+// and each simulated CPU thread's current device.
+type Runtime struct {
+	sim     *des.Sim
+	devices []*gpu.Device
+	current map[*des.Proc]int
+}
+
+// NewRuntime creates a runtime over the given devices (device 0 is the
+// default current device for every thread, as in CUDA).
+func NewRuntime(sim *des.Sim, devices ...*gpu.Device) *Runtime {
+	if len(devices) == 0 {
+		panic("cuda: no devices")
+	}
+	return &Runtime{sim: sim, devices: devices, current: make(map[*des.Proc]int)}
+}
+
+// DeviceCount reports the number of visible devices (cudaGetDeviceCount).
+func (rt *Runtime) DeviceCount() int { return len(rt.devices) }
+
+// SetDevice selects the current device for the calling thread
+// (cudaSetDevice). The selection is per-thread state.
+func (rt *Runtime) SetDevice(p *des.Proc, id int) error {
+	if id < 0 || id >= len(rt.devices) {
+		return fmt.Errorf("cuda: invalid device %d", id)
+	}
+	rt.current[p] = id
+	return nil
+}
+
+// GetDevice reports the calling thread's current device (cudaGetDevice).
+func (rt *Runtime) GetDevice(p *des.Proc) int { return rt.current[p] }
+
+// dev resolves the calling thread's current device.
+func (rt *Runtime) dev(p *des.Proc) *gpu.Device { return rt.devices[rt.current[p]] }
+
+// Device exposes the underlying device by id, for inspection in tests.
+func (rt *Runtime) Device(id int) *gpu.Device { return rt.devices[id] }
+
+// Stream is a cudaStream_t analogue bound to the device that created it.
+type Stream struct {
+	s   *gpu.Stream
+	dev *gpu.Device
+}
+
+// StreamCreate creates a stream on the calling thread's current device.
+func (rt *Runtime) StreamCreate(p *des.Proc) *Stream {
+	d := rt.dev(p)
+	return &Stream{s: d.NewStream(""), dev: d}
+}
+
+// Event is a cudaEvent_t analogue.
+type Event struct {
+	ev *des.Event
+}
+
+// Malloc allocates device memory on the current device (cudaMalloc).
+func (rt *Runtime) Malloc(p *des.Proc, n int64) (*gpu.Buf, error) {
+	return rt.dev(p).Malloc(n)
+}
+
+// HostAlloc allocates page-locked host memory (cudaHostAlloc). Transfers
+// from pinned memory run at full PCIe bandwidth and may proceed
+// asynchronously.
+func (rt *Runtime) HostAlloc(n int64) *gpu.HostBuf { return gpu.NewPinnedBuf(n) }
+
+// MemcpyAsync enqueues a transfer on st. With pinned host memory the call
+// returns immediately and the copy can overlap with kernels; with pageable
+// memory the driver stages the transfer: the calling thread blocks until
+// the copy completes and the copy excludes concurrent kernel execution —
+// exactly the CUDA behaviour that makes `realloc`-managed buffers (as in
+// Dedup) unable to overlap, defeating the 2×-memory-space optimization.
+func (rt *Runtime) MemcpyAsync(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) {
+	var ev *des.Event
+	switch kind {
+	case MemcpyHostToDevice:
+		if hbuf.Pinned {
+			ev = st.s.CopyH2D(p, dbuf, dOff, hbuf, hOff, n)
+		} else {
+			ev = st.s.CopyH2DExclusive(p, dbuf, dOff, hbuf, hOff, n)
+		}
+	case MemcpyDeviceToHost:
+		if hbuf.Pinned {
+			ev = st.s.CopyD2H(p, hbuf, hOff, dbuf, dOff, n)
+		} else {
+			ev = st.s.CopyD2HExclusive(p, hbuf, hOff, dbuf, dOff, n)
+		}
+	default:
+		panic(fmt.Sprintf("cuda: bad memcpy kind %d", kind))
+	}
+	if !hbuf.Pinned {
+		ev.Wait(p)
+	}
+}
+
+// MemcpyD2DAsync enqueues an on-device copy (cudaMemcpyDeviceToDevice):
+// always asynchronous, no host memory involved.
+func (rt *Runtime) MemcpyD2DAsync(p *des.Proc, dst *gpu.Buf, dOff int64, src *gpu.Buf, sOff, n int64, st *Stream) {
+	st.s.CopyD2D(p, dst, dOff, src, sOff, n)
+}
+
+// Memcpy is the synchronous transfer (cudaMemcpy): it blocks the calling
+// thread regardless of memory kind.
+func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) {
+	var ev *des.Event
+	switch kind {
+	case MemcpyHostToDevice:
+		ev = st.s.CopyH2D(p, dbuf, dOff, hbuf, hOff, n)
+	case MemcpyDeviceToHost:
+		ev = st.s.CopyD2H(p, hbuf, hOff, dbuf, dOff, n)
+	default:
+		panic(fmt.Sprintf("cuda: bad memcpy kind %d", kind))
+	}
+	ev.Wait(p)
+}
+
+// LaunchKernel launches spec<<<grid>>>(args...) on st (cudaLaunchKernel).
+func (rt *Runtime) LaunchKernel(p *des.Proc, spec *gpu.KernelSpec, g gpu.Grid, st *Stream, args ...any) {
+	st.s.Launch(p, spec.Bind(args...), g)
+}
+
+// EventRecord records an event after all work currently enqueued on st.
+func (rt *Runtime) EventRecord(p *des.Proc, st *Stream) *Event {
+	return &Event{ev: st.s.Record(p)}
+}
+
+// EventSynchronize blocks the calling thread until e has occurred.
+func (rt *Runtime) EventSynchronize(p *des.Proc, e *Event) { e.ev.Wait(p) }
+
+// StreamSynchronize blocks until all work enqueued on st has completed.
+func (rt *Runtime) StreamSynchronize(p *des.Proc, st *Stream) { st.s.Synchronize(p) }
+
+// DeviceSynchronize blocks until all streams the thread created on its
+// current device are idle. The facade tracks only streams it created.
+func (rt *Runtime) DeviceSynchronize(p *des.Proc, streams ...*Stream) {
+	d := rt.dev(p)
+	for _, st := range streams {
+		if st.dev == d {
+			st.s.Synchronize(p)
+		}
+	}
+}

@@ -1,0 +1,574 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamgpu/internal/des"
+)
+
+// testSpec is a small deterministic device for unit tests.
+func testSpec() DeviceSpec {
+	s := TitanXPSpec()
+	return s
+}
+
+// runOnDevice spins up a sim + device, runs body as the host process, and
+// returns the final virtual time.
+func runOnDevice(t testing.TB, body func(p *des.Proc, d *Device)) des.Time {
+	t.Helper()
+	sim := des.New()
+	dev := NewDevice(sim, testSpec(), 0)
+	sim.Spawn("host", func(p *des.Proc) { body(p, dev) })
+	end, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+// incKernel adds 1 to each byte of buf, one thread per byte.
+func incKernel(buf *Buf, n int) *Kernel {
+	return &Kernel{
+		Name: "inc",
+		Func: func(th Thread) int64 {
+			i := th.GlobalX()
+			if i >= n {
+				return ExitCost
+			}
+			buf.Bytes()[i]++
+			return 20
+		},
+	}
+}
+
+func TestFunctionalRoundTrip(t *testing.T) {
+	const n = 1000
+	host := NewPinnedBuf(n)
+	for i := range host.Data {
+		host.Data[i] = byte(i % 7)
+	}
+	out := NewPinnedBuf(n)
+	runOnDevice(t, func(p *des.Proc, d *Device) {
+		buf := d.MustMalloc(n)
+		st := d.NewStream("s")
+		st.CopyH2D(p, buf, 0, host, 0, n)
+		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
+		st.CopyD2H(p, out, 0, buf, 0, n)
+		st.Synchronize(p)
+	})
+	for i := range out.Data {
+		want := byte(i%7) + 1
+		if out.Data[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out.Data[i], want)
+		}
+	}
+}
+
+func TestStreamOrdering(t *testing.T) {
+	// Within one stream a kernel must observe the preceding copy even
+	// without explicit synchronization between ops.
+	const n = 64
+	host := NewPinnedBuf(n)
+	for i := range host.Data {
+		host.Data[i] = 5
+	}
+	out := NewPinnedBuf(n)
+	runOnDevice(t, func(p *des.Proc, d *Device) {
+		buf := d.MustMalloc(n)
+		st := d.NewStream("")
+		st.CopyH2D(p, buf, 0, host, 0, n)
+		st.Launch(p, incKernel(buf, n), Grid1D(n, 32))
+		st.Launch(p, incKernel(buf, n), Grid1D(n, 32))
+		st.CopyD2H(p, out, 0, buf, 0, n)
+		st.Synchronize(p)
+	})
+	for i := range out.Data {
+		if out.Data[i] != 7 {
+			t.Fatalf("out[%d] = %d, want 7 (copy→kernel→kernel ordering broken)", i, out.Data[i])
+		}
+	}
+}
+
+func TestCopyOffsets(t *testing.T) {
+	host := NewPinnedBuf(16)
+	for i := range host.Data {
+		host.Data[i] = byte(i)
+	}
+	out := NewPinnedBuf(4)
+	runOnDevice(t, func(p *des.Proc, d *Device) {
+		buf := d.MustMalloc(32)
+		st := d.NewStream("")
+		st.CopyH2D(p, buf, 10, host, 4, 4) // device[10:14] = host[4:8]
+		st.CopyD2H(p, out, 0, buf, 10, 4)
+		st.Synchronize(p)
+	})
+	for i := 0; i < 4; i++ {
+		if out.Data[i] != byte(4+i) {
+			t.Fatalf("out[%d] = %d, want %d", i, out.Data[i], 4+i)
+		}
+	}
+}
+
+func TestPinnedFasterThanPageable(t *testing.T) {
+	const n = 1 << 20
+	measure := func(pinned bool) des.Time {
+		var h *HostBuf
+		if pinned {
+			h = NewPinnedBuf(n)
+		} else {
+			h = NewHostBuf(n)
+		}
+		return runOnDevice(t, func(p *des.Proc, d *Device) {
+			buf := d.MustMalloc(n)
+			st := d.NewStream("")
+			st.CopyH2D(p, buf, 0, h, 0, n)
+			st.Synchronize(p)
+		})
+	}
+	tp, tg := measure(true), measure(false)
+	if tp >= tg {
+		t.Errorf("pinned copy (%v) should be faster than pageable (%v)", tp, tg)
+	}
+}
+
+func TestBatchingBeatsManySmallKernels(t *testing.T) {
+	// The paper's core Fig. 1 effect: one kernel over 32 rows beats 32
+	// kernels over 1 row each, because of launch overhead and occupancy.
+	const rows, rowLen = 32, 2000
+	work := func(th Thread, limit int) int64 {
+		if th.GlobalX() >= limit {
+			return ExitCost
+		}
+		return 5000 // uniform busy loop
+	}
+	small := runOnDevice(t, func(p *des.Proc, d *Device) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "row", Func: func(th Thread) int64 { return work(th, rowLen) }}
+		for r := 0; r < rows; r++ {
+			st.Launch(p, k, Grid1D(rowLen, 128))
+		}
+		st.Synchronize(p)
+	})
+	big := runOnDevice(t, func(p *des.Proc, d *Device) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "batch", Func: func(th Thread) int64 { return work(th, rows*rowLen) }}
+		st.Launch(p, k, Grid1D(rows*rowLen, 128))
+		st.Synchronize(p)
+	})
+	if big >= small {
+		t.Errorf("batched kernel (%v) should beat %d small kernels (%v)", big, rows, small)
+	}
+	if ratio := float64(small) / float64(big); ratio < 3 {
+		t.Errorf("batching speedup = %.2f, expected >= 3 for underutilized small kernels", ratio)
+	}
+}
+
+func TestWarpDivergenceCost(t *testing.T) {
+	// A kernel where one lane per warp runs 100× longer must cost nearly as
+	// much as all lanes running long (lockstep warps).
+	const n = 32 * 64 * 30 // full residency
+	uniform := runOnDevice(t, func(p *des.Proc, d *Device) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "u", Func: func(th Thread) int64 { return 10000 }}
+		st.Launch(p, k, Grid1D(n, 128))
+		st.Synchronize(p)
+	})
+	divergent := runOnDevice(t, func(p *des.Proc, d *Device) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "d", Func: func(th Thread) int64 {
+			if th.GlobalX()%32 == 0 {
+				return 10000
+			}
+			return 100
+		}}
+		st.Launch(p, k, Grid1D(n, 128))
+		st.Synchronize(p)
+	})
+	// Per-warp max is 10000 in both cases; times must be equal.
+	if divergent != uniform {
+		t.Errorf("divergent (%v) should cost the same as uniform (%v): warp time = slowest lane", divergent, uniform)
+	}
+}
+
+func TestOccupancyLimitedByRegisters(t *testing.T) {
+	spec := testSpec()
+	g := Grid1D(spec.MaxResidentThreads(), 128)
+	lean := &Kernel{Name: "lean", RegsPerThread: 18}
+	fat := &Kernel{Name: "fat", RegsPerThread: 255}
+	rl := lean.residentWarpsPerSM(spec, g)
+	rf := fat.residentWarpsPerSM(spec, g)
+	if rl != spec.MaxResidentThreadsPerSM/spec.WarpSize {
+		t.Errorf("18-register kernel should hit the thread cap (%d warps), got %d",
+			spec.MaxResidentThreadsPerSM/spec.WarpSize, rl)
+	}
+	if rf >= rl {
+		t.Errorf("255-register kernel occupancy (%d) should be below lean kernel (%d)", rf, rl)
+	}
+	if want := spec.RegistersPerSM / (255 * spec.WarpSize); rf != want {
+		t.Errorf("fat kernel resident warps = %d, want %d", rf, want)
+	}
+}
+
+func TestSharedMemLimitsOccupancy(t *testing.T) {
+	spec := testSpec()
+	g := Grid1D(spec.MaxResidentThreads(), 256)
+	k := &Kernel{Name: "smem", SharedMemPerBlock: spec.SharedMemPerSM / 2}
+	// Only 2 blocks of 8 warps fit per SM.
+	if got, want := k.residentWarpsPerSM(spec, g), 16; got != want {
+		t.Errorf("resident warps = %d, want %d", got, want)
+	}
+}
+
+func TestCopyComputeOverlap(t *testing.T) {
+	// Two streams: one computing, one copying. With pinned memory the total
+	// must be close to max(copy, compute), not the sum.
+	const n = 8 << 20
+	host := NewPinnedBuf(n)
+	serial := runOnDevice(t, func(p *des.Proc, d *Device) {
+		buf := d.MustMalloc(n)
+		st := d.NewStream("")
+		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
+		st.CopyH2D(p, buf, 0, host, 0, n)
+		st.Launch(p, k, Grid1D(61440, 128))
+		st.CopyH2D(p, buf, 0, host, 0, n)
+		st.Launch(p, k, Grid1D(61440, 128))
+		st.Synchronize(p)
+	})
+	overlapped := runOnDevice(t, func(p *des.Proc, d *Device) {
+		bufA := d.MustMalloc(n)
+		bufB := d.MustMalloc(n)
+		s1 := d.NewStream("s1")
+		s2 := d.NewStream("s2")
+		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
+		s1.CopyH2D(p, bufA, 0, host, 0, n)
+		s1.Launch(p, k, Grid1D(61440, 128))
+		s2.CopyH2D(p, bufB, 0, host, 0, n)
+		s2.Launch(p, k, Grid1D(61440, 128))
+		s1.Synchronize(p)
+		s2.Synchronize(p)
+	})
+	if overlapped >= serial {
+		t.Errorf("two streams (%v) should beat one stream (%v) via copy/compute overlap", overlapped, serial)
+	}
+}
+
+func TestComputeEngineSerializesKernels(t *testing.T) {
+	// Kernels from different streams serialize on the single compute engine.
+	one := runOnDevice(t, func(p *des.Proc, d *Device) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 100000 }}
+		st.Launch(p, k, Grid1D(61440, 128))
+		st.Synchronize(p)
+	})
+	two := runOnDevice(t, func(p *des.Proc, d *Device) {
+		s1 := d.NewStream("s1")
+		s2 := d.NewStream("s2")
+		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 100000 }}
+		s1.Launch(p, k, Grid1D(61440, 128))
+		s2.Launch(p, k, Grid1D(61440, 128))
+		s1.Synchronize(p)
+		s2.Synchronize(p)
+	})
+	if two < 2*one*9/10 {
+		t.Errorf("2 concurrent kernels (%v) should take ~2× one kernel (%v)", two, one)
+	}
+}
+
+func TestMallocAccountingAndOOM(t *testing.T) {
+	sim := des.New()
+	spec := testSpec()
+	d := NewDevice(sim, spec, 0)
+	b1, err := d.Malloc(spec.GlobalMemBytes / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Malloc(spec.GlobalMemBytes); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+	b2, err := d.Malloc(spec.GlobalMemBytes / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Free()
+	b2.Free()
+	if d.MemUsed() != 0 {
+		t.Errorf("MemUsed = %d after freeing everything", d.MemUsed())
+	}
+	if d.Stats().PeakMemUsed != spec.GlobalMemBytes {
+		t.Errorf("PeakMemUsed = %d, want %d", d.Stats().PeakMemUsed, spec.GlobalMemBytes)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	sim := des.New()
+	d := NewDevice(sim, testSpec(), 0)
+	b := d.MustMalloc(16)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestCopyRangeChecked(t *testing.T) {
+	host := NewPinnedBuf(8)
+	sim := des.New()
+	d := NewDevice(sim, testSpec(), 0)
+	sim.Spawn("host", func(p *des.Proc) {
+		buf := d.MustMalloc(8)
+		st := d.NewStream("")
+		st.CopyH2D(p, buf, 4, host, 0, 8) // overruns device buffer
+	})
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("out-of-range copy should fail the simulation")
+	}
+}
+
+func TestStats(t *testing.T) {
+	const n = 4096
+	host := NewPinnedBuf(n)
+	sim := des.New()
+	d := NewDevice(sim, testSpec(), 0)
+	sim.Spawn("host", func(p *des.Proc) {
+		buf := d.MustMalloc(n)
+		st := d.NewStream("")
+		st.CopyH2D(p, buf, 0, host, 0, n)
+		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
+		st.CopyD2H(p, host, 0, buf, 0, n)
+		st.Synchronize(p)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.KernelsLaunched != 1 || s.BytesH2D != n || s.BytesD2H != n {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.KernelBusy <= 0 || s.CopyBusyH2D <= 0 {
+		t.Errorf("busy counters should be positive: %+v", s)
+	}
+}
+
+func TestGrid1D(t *testing.T) {
+	g := Grid1D(2000, 128)
+	if g.Blocks() != 16 {
+		t.Errorf("blocks = %d, want 16", g.Blocks())
+	}
+	if g.Threads() != 16*128 {
+		t.Errorf("threads = %d", g.Threads())
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(2000, 1, 32, 32)
+	if g.Grid.X != 63 || g.Grid.Y != 1 {
+		t.Errorf("grid = %+v", g.Grid)
+	}
+	if g.ThreadsPerBlock() != 1024 {
+		t.Errorf("block threads = %d", g.ThreadsPerBlock())
+	}
+}
+
+func TestThreadIndexing(t *testing.T) {
+	th := Thread{
+		Idx:      Dim3{X: 3, Y: 1},
+		Block:    Dim3{X: 2, Y: 0},
+		BlockDim: Dim3{X: 4, Y: 2},
+		GridDim:  Dim3{X: 5, Y: 3},
+	}
+	if th.GlobalX() != 11 {
+		t.Errorf("GlobalX = %d, want 11", th.GlobalX())
+	}
+	if th.GlobalY() != 1 {
+		t.Errorf("GlobalY = %d, want 1", th.GlobalY())
+	}
+	// linear: block 2 of 8 threads each, thread-in-block = 1*4+3 = 7 → 23
+	if th.GlobalLinear() != 23 {
+		t.Errorf("GlobalLinear = %d, want 23", th.GlobalLinear())
+	}
+}
+
+// Property: every launched thread executes exactly once with a unique
+// global linear id.
+func TestEveryThreadRunsOnceProperty(t *testing.T) {
+	f := func(nSeed, bSeed uint8) bool {
+		n := int(nSeed)%500 + 1
+		block := []int{32, 64, 128, 256}[int(bSeed)%4]
+		g := Grid1D(n, block)
+		seen := make([]int32, g.Threads())
+		sim := des.New()
+		d := NewDevice(sim, testSpec(), 0)
+		ok := true
+		sim.Spawn("host", func(p *des.Proc) {
+			st := d.NewStream("")
+			k := &Kernel{Name: "count", Func: func(th Thread) int64 {
+				id := th.GlobalLinear()
+				seen[id]++ // exclusive access per thread; executor may be parallel but ids are unique
+				return 1
+			}}
+			st.Launch(p, k, g)
+			st.Synchronize(p)
+		})
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time is monotone in size and pinned <= pageable.
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	d := NewDevice(des.New(), testSpec(), 0)
+	f := func(a, b uint32) bool {
+		x, y := int64(a)%(1<<24), int64(b)%(1<<24)
+		if x > y {
+			x, y = y, x
+		}
+		if d.transferTime(x, true, true) > d.transferTime(y, true, true) {
+			return false
+		}
+		return d.transferTime(x, true, true) <= d.transferTime(x, true, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTitanXPSpec(t *testing.T) {
+	s := TitanXPSpec()
+	if s.MaxResidentThreads() != 61440 {
+		t.Errorf("resident threads = %d, want 61440 (paper §IV-A)", s.MaxResidentThreads())
+	}
+	if s.SMs != 30 || s.WarpSize != 32 {
+		t.Errorf("geometry = %d SMs, warp %d", s.SMs, s.WarpSize)
+	}
+}
+
+func TestLaunchResultFields(t *testing.T) {
+	sim := des.New()
+	d := NewDevice(sim, testSpec(), 0)
+	var res LaunchResult
+	sim.Spawn("host", func(p *des.Proc) {
+		st := d.NewStream("")
+		k := &Kernel{Name: "k", Func: func(Thread) int64 { return 10 }}
+		ev := st.Launch(p, k, Grid1D(2000, 128))
+		res = ev.Wait(p).(LaunchResult)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 16*128 {
+		t.Errorf("Threads = %d", res.Threads)
+	}
+	if res.OccupiedSMs != 16 {
+		t.Errorf("OccupiedSMs = %d, want 16 (16 blocks round-robin on 30 SMs)", res.OccupiedSMs)
+	}
+	if res.Warps != 16*4 {
+		t.Errorf("Warps = %d, want 64", res.Warps)
+	}
+	if res.ComputeTime <= 0 {
+		t.Error("ComputeTime should be positive")
+	}
+}
+
+func TestFullOccupancyFasterPerThread(t *testing.T) {
+	// Time per unit work must shrink as the grid grows toward full
+	// residency (the underutilization effect).
+	timeFor := func(threads int) float64 {
+		end := runOnDevice(t, func(p *des.Proc, d *Device) {
+			st := d.NewStream("")
+			k := &Kernel{Name: "w", Func: func(Thread) int64 { return 10000 }}
+			st.Launch(p, k, Grid1D(threads, 128))
+			st.Synchronize(p)
+		})
+		return float64(end) / float64(threads)
+	}
+	small := timeFor(2000)  // one Mandelbrot row
+	large := timeFor(64000) // a 32-row batch
+	if large >= small {
+		t.Errorf("per-thread time at 64000 threads (%.2f ns) should beat 2000 threads (%.2f ns)", large, small)
+	}
+	if small/large < 4 {
+		t.Errorf("occupancy gain = %.2f×, expected >= 4× between 2000 and 64000 threads", small/large)
+	}
+}
+
+func BenchmarkKernelExecution(b *testing.B) {
+	sim := des.New()
+	d := NewDevice(sim, testSpec(), 0)
+	k := &Kernel{Name: "bench", Func: func(Thread) int64 { return 100 }}
+	g := Grid1D(61440, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.execute(k, g)
+	}
+}
+
+func TestCopyD2D(t *testing.T) {
+	host := NewPinnedBuf(64)
+	for i := range host.Data {
+		host.Data[i] = byte(i)
+	}
+	out := NewPinnedBuf(64)
+	runOnDevice(t, func(p *des.Proc, d *Device) {
+		a := d.MustMalloc(64)
+		b := d.MustMalloc(64)
+		st := d.NewStream("")
+		st.CopyH2D(p, a, 0, host, 0, 64)
+		st.CopyD2D(p, b, 0, a, 0, 64)
+		st.CopyD2H(p, out, 0, b, 0, 64)
+		st.Synchronize(p)
+	})
+	for i := range out.Data {
+		if out.Data[i] != byte(i) {
+			t.Fatalf("out[%d] = %d after D2D round trip", i, out.Data[i])
+		}
+	}
+}
+
+func TestCopyD2DCrossDevicePanics(t *testing.T) {
+	sim := des.New()
+	d0 := NewDevice(sim, testSpec(), 0)
+	d1 := NewDevice(sim, testSpec(), 1)
+	sim.Spawn("host", func(p *des.Proc) {
+		a := d0.MustMalloc(8)
+		b := d1.MustMalloc(8)
+		st := d0.NewStream("")
+		st.CopyD2D(p, b, 0, a, 0, 8) // wrong device: must fail
+	})
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("cross-device D2D should fail the simulation")
+	}
+}
+
+func TestCopyD2DFasterThanPCIe(t *testing.T) {
+	const n = 8 << 20
+	host := NewPinnedBuf(n)
+	viaPCIe := runOnDevice(t, func(p *des.Proc, d *Device) {
+		a := d.MustMalloc(n)
+		st := d.NewStream("")
+		st.CopyH2D(p, a, 0, host, 0, n)
+		st.Synchronize(p)
+	})
+	onDevice := runOnDevice(t, func(p *des.Proc, d *Device) {
+		a := d.MustMalloc(n)
+		b := d.MustMalloc(n)
+		st := d.NewStream("")
+		st.CopyD2D(p, b, 0, a, 0, n)
+		st.Synchronize(p)
+	})
+	if onDevice >= viaPCIe {
+		t.Errorf("D2D (%v) should be much faster than PCIe (%v)", onDevice, viaPCIe)
+	}
+}

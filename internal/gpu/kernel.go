@@ -1,0 +1,284 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"streamgpu/internal/des"
+)
+
+// Dim3 is a CUDA-style 3-component extent. Zero components are treated as 1.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// norm returns the dimension with zeroes replaced by 1.
+func (d Dim3) norm() Dim3 {
+	if d.X == 0 {
+		d.X = 1
+	}
+	if d.Y == 0 {
+		d.Y = 1
+	}
+	if d.Z == 0 {
+		d.Z = 1
+	}
+	return d
+}
+
+// Count is the product of the (normalized) components.
+func (d Dim3) Count() int {
+	d = d.norm()
+	return d.X * d.Y * d.Z
+}
+
+// Grid is a kernel launch configuration: grid-of-blocks × block-of-threads,
+// the <<<grid, block>>> pair of CUDA.
+type Grid struct {
+	Grid  Dim3
+	Block Dim3
+}
+
+// Grid1D covers n threads with 1-dimensional blocks of blockSize threads —
+// the standard `(n + b - 1) / b` launch idiom.
+func Grid1D(n, blockSize int) Grid {
+	if blockSize <= 0 {
+		panic("gpu: blockSize must be positive")
+	}
+	return Grid{
+		Grid:  Dim3{X: (n + blockSize - 1) / blockSize},
+		Block: Dim3{X: blockSize},
+	}
+}
+
+// Grid2D covers an nx × ny domain with 2-dimensional bx × by blocks — the
+// configuration §IV-A reports as performing worse than 1D for the
+// Mandelbrot row kernel.
+func Grid2D(nx, ny, bx, by int) Grid {
+	if bx <= 0 || by <= 0 {
+		panic("gpu: block dims must be positive")
+	}
+	return Grid{
+		Grid:  Dim3{X: (nx + bx - 1) / bx, Y: (ny + by - 1) / by},
+		Block: Dim3{X: bx, Y: by},
+	}
+}
+
+// Blocks reports the number of thread blocks launched.
+func (g Grid) Blocks() int { return g.Grid.Count() }
+
+// ThreadsPerBlock reports the block size in threads.
+func (g Grid) ThreadsPerBlock() int { return g.Block.Count() }
+
+// Threads reports the total launched threads.
+func (g Grid) Threads() int { return g.Blocks() * g.ThreadsPerBlock() }
+
+// Thread is the per-thread execution context handed to kernel functions,
+// mirroring CUDA's threadIdx/blockIdx/blockDim/gridDim builtins.
+type Thread struct {
+	Idx      Dim3 // threadIdx
+	Block    Dim3 // blockIdx
+	BlockDim Dim3
+	GridDim  Dim3
+}
+
+// GlobalX is blockIdx.x*blockDim.x + threadIdx.x.
+func (t Thread) GlobalX() int { return t.Block.X*t.BlockDim.X + t.Idx.X }
+
+// GlobalY is blockIdx.y*blockDim.y + threadIdx.y.
+func (t Thread) GlobalY() int { return t.Block.Y*t.BlockDim.Y + t.Idx.Y }
+
+// GlobalLinear is the flattened global id with x fastest, then y, then z —
+// the order warps are formed in.
+func (t Thread) GlobalLinear() int {
+	bd := t.BlockDim.norm()
+	gd := t.GridDim.norm()
+	threadInBlock := (t.Idx.Z*bd.Y+t.Idx.Y)*bd.X + t.Idx.X
+	blockLinear := (t.Block.Z*gd.Y+t.Block.Y)*gd.X + t.Block.X
+	return blockLinear*bd.Count() + threadInBlock
+}
+
+// ThreadFunc is a kernel body: it runs once per thread and returns the
+// thread's cost in device cycles. The returned cycles drive the timing
+// model; within a warp the maximum over threads is charged (lockstep
+// execution — warp divergence costs what the slowest lane costs).
+type ThreadFunc func(t Thread) int64
+
+// ExitCost is the conventional cycle cost for a thread that fails its bounds
+// check and returns immediately.
+const ExitCost = 4
+
+// Kernel is a device function plus its resource footprint.
+type Kernel struct {
+	Name string
+	// RegsPerThread limits SM occupancy (registers are partitioned among
+	// resident threads). Zero means a small kernel (16 registers).
+	RegsPerThread int
+	// SharedMemPerBlock limits how many blocks fit on an SM. Zero = none.
+	SharedMemPerBlock int64
+	Func              ThreadFunc
+}
+
+// residentWarpsPerSM computes the occupancy limit for this kernel on spec:
+// the minimum of the thread cap, the register file cap and the shared-memory
+// block cap, in warps.
+func (k *Kernel) residentWarpsPerSM(spec DeviceSpec, g Grid) int {
+	warpsPerBlock := (g.ThreadsPerBlock() + spec.WarpSize - 1) / spec.WarpSize
+	byThreads := spec.MaxResidentThreadsPerSM / spec.WarpSize
+	regs := k.RegsPerThread
+	if regs <= 0 {
+		regs = 16
+	}
+	byRegs := spec.RegistersPerSM / (regs * spec.WarpSize)
+	limit := byThreads
+	if byRegs < limit {
+		limit = byRegs
+	}
+	if k.SharedMemPerBlock > 0 {
+		blocksBySmem := int(spec.SharedMemPerSM / k.SharedMemPerBlock)
+		if blocksBySmem < 1 {
+			blocksBySmem = 1
+		}
+		bySmem := blocksBySmem * warpsPerBlock
+		if bySmem < limit {
+			limit = bySmem
+		}
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// LaunchResult reports what a kernel execution did and cost.
+type LaunchResult struct {
+	ComputeTime des.Duration // device-side execution time (excl. launch overhead)
+	Threads     int
+	Warps       int
+	// OccupiedSMs counts SMs that received at least one block.
+	OccupiedSMs int
+	// TotalCycles is the divergence-adjusted warp-cycle total.
+	TotalCycles int64
+}
+
+// execute runs the kernel functionally (parallel on the host for speed) and
+// evaluates the cost model. It is invoked by the stream engine when the
+// kernel op reaches the head of its stream.
+func (d *Device) execute(k *Kernel, g Grid) LaunchResult {
+	spec := d.Spec
+	bd := g.Block.norm()
+	gd := g.Grid.norm()
+	nBlocks := g.Blocks()
+	threadsPerBlock := bd.Count()
+	warpsPerBlock := (threadsPerBlock + spec.WarpSize - 1) / spec.WarpSize
+
+	// Per-SM divergence-adjusted cycle totals. Blocks are assigned to SMs
+	// round-robin in launch order, as hardware block schedulers do for
+	// uniform kernels.
+	perSM := make([]int64, spec.SMs)
+	var mu sync.Mutex
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blockCh := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, spec.SMs)
+			for b := range blockCh {
+				bz := b / (gd.X * gd.Y)
+				by := (b / gd.X) % gd.Y
+				bx := b % gd.X
+				sm := b % spec.SMs
+				var blockCycles int64
+				// Walk the block's threads warp by warp (x fastest).
+				for w0 := 0; w0 < warpsPerBlock; w0++ {
+					var warpMax int64
+					lo := w0 * spec.WarpSize
+					hi := lo + spec.WarpSize
+					if hi > threadsPerBlock {
+						hi = threadsPerBlock
+					}
+					for lin := lo; lin < hi; lin++ {
+						tx := lin % bd.X
+						ty := (lin / bd.X) % bd.Y
+						tz := lin / (bd.X * bd.Y)
+						c := k.Func(Thread{
+							Idx:      Dim3{X: tx, Y: ty, Z: tz},
+							Block:    Dim3{X: bx, Y: by, Z: bz},
+							BlockDim: bd,
+							GridDim:  gd,
+						})
+						if c > warpMax {
+							warpMax = c
+						}
+					}
+					blockCycles += warpMax
+				}
+				local[sm] += blockCycles
+			}
+			mu.Lock()
+			for i, c := range local {
+				perSM[i] += c
+			}
+			mu.Unlock()
+		}()
+	}
+	for b := 0; b < nBlocks; b++ {
+		blockCh <- b
+	}
+	close(blockCh)
+	wg.Wait()
+
+	// Cost model: each SM issues min(ipc, k/depLatency) warp-instructions
+	// per cycle where k is its resident-warp concurrency; the kernel runs
+	// as long as its slowest SM.
+	resident := k.residentWarpsPerSM(spec, g)
+	var worst float64
+	var total int64
+	occupied := 0
+	for sm, cycles := range perSM {
+		if cycles == 0 {
+			continue
+		}
+		occupied++
+		blocksOnSM := nBlocks / spec.SMs
+		if sm < nBlocks%spec.SMs {
+			blocksOnSM++
+		}
+		kWarps := blocksOnSM * warpsPerBlock
+		if kWarps > resident {
+			kWarps = resident
+		}
+		thr := float64(kWarps) / spec.DepLatencyCycles
+		if thr > spec.IssueWarpsPerCycle {
+			thr = spec.IssueWarpsPerCycle
+		}
+		t := float64(cycles) / thr / spec.ClockHz
+		if t > worst {
+			worst = t
+		}
+		total += cycles
+	}
+	return LaunchResult{
+		ComputeTime: des.Duration(worst * 1e9),
+		Threads:     g.Threads(),
+		Warps:       nBlocks * warpsPerBlock,
+		OccupiedSMs: occupied,
+		TotalCycles: total,
+	}
+}
+
+func (g Grid) String() string {
+	return fmt.Sprintf("<<<(%d,%d,%d),(%d,%d,%d)>>>",
+		g.Grid.norm().X, g.Grid.norm().Y, g.Grid.norm().Z,
+		g.Block.norm().X, g.Block.norm().Y, g.Block.norm().Z)
+}

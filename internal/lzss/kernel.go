@@ -1,0 +1,172 @@
+package lzss
+
+import (
+	"encoding/binary"
+
+	"streamgpu/internal/gpu"
+)
+
+// Kernel argument layout shared by both kernel variants (mirroring
+// Listing 3's parameter list):
+//
+//	args[0] *gpu.Buf  input       — the batch bytes
+//	args[1] int       sizeInput
+//	args[2] *gpu.Buf  startPoss   — int32 LE block start offsets
+//	args[3] int       startPosSize
+//	args[4] *gpu.Buf  matchesLength — int32 LE out
+//	args[5] *gpu.Buf  matchesOffset — int32 LE out
+//	args[6] *Matches  (fast kernel only) host-precomputed results
+//
+// Cost accounting: the paper's kernel walks the startPos array linearly to
+// locate its block, then scans up to WindowSize candidates. We charge
+// 2 cycles per startPos entry, ~3 cycles per candidate position in the
+// window span, and ~4 cycles per matched byte.
+
+// BruteKernel returns the faithful Listing 3 device function: every thread
+// performs the full backward window scan itself. Results are bit-identical
+// to FindMatchesRef. Use it in tests and small examples; its host-side
+// execution cost is the real O(window) scan per byte.
+func BruteKernel() *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:          "lzss_find_match_brute",
+		RegsPerThread: 28,
+		Body: func(t gpu.Thread, args []any) int64 {
+			input := args[0].(*gpu.Buf).Bytes()
+			sizeInput := args[1].(int)
+			spBuf := args[2].(*gpu.Buf).Bytes()
+			startPosSize := args[3].(int)
+			mlBuf := args[4].(*gpu.Buf).Bytes()
+			moBuf := args[5].(*gpu.Buf).Bytes()
+
+			i := t.GlobalX()
+			if i >= sizeInput {
+				return gpu.ExitCost
+			}
+			cycles := int64(2 * startPosSize) // linear block lookup, as in the paper
+			// Locate the block containing i.
+			lo, hi := 0, sizeInput
+			for k := 0; k < startPosSize; k++ {
+				s := int(int32(binary.LittleEndian.Uint32(spBuf[k*4:])))
+				if s <= i {
+					lo = s
+					if k+1 < startPosSize {
+						hi = int(int32(binary.LittleEndian.Uint32(spBuf[(k+1)*4:])))
+					} else {
+						hi = sizeInput
+					}
+				}
+			}
+			best, bestC := 0, -1
+			maxHere := hi - i
+			if maxHere > MaxMatch {
+				maxHere = MaxMatch
+			}
+			winLo := i - WindowSize
+			if winLo < lo {
+				winLo = lo
+			}
+			for c := i - 1; c >= winLo; c-- {
+				cycles += 3
+				limit := maxHere
+				if d := i - c; limit > d {
+					limit = d
+				}
+				l := 0
+				for l < limit && input[c+l] == input[i+l] {
+					l++
+					cycles += 4
+				}
+				if l > best {
+					best, bestC = l, c
+					if best == maxHere {
+						break
+					}
+				}
+			}
+			var ml, mo int32
+			if best >= MinMatch {
+				ml, mo = int32(best), int32(i-bestC)
+			}
+			binary.LittleEndian.PutUint32(mlBuf[i*4:], uint32(ml))
+			binary.LittleEndian.PutUint32(moBuf[i*4:], uint32(mo))
+			return cycles + 10
+		},
+	}
+}
+
+// Matches carries host-precomputed match arrays into the fast kernel. Build
+// one per batch with Precompute.
+type Matches struct {
+	Len []int32
+	Off []int32
+}
+
+// Precompute runs the exact hash-chain matcher on the host for the batch.
+// The result is what the brute-force device scan would produce.
+func Precompute(batch []byte, startPos []int32) *Matches {
+	m := &Matches{
+		Len: make([]int32, len(batch)),
+		Off: make([]int32, len(batch)),
+	}
+	FindMatches(batch, startPos, m.Len, m.Off)
+	return m
+}
+
+// FastKernel returns the device function used by the experiment harness:
+// functionally it writes the precomputed (bit-identical) match results into
+// the device buffers, while its cost model charges the window scan the
+// brute-force kernel performs — so virtual timing matches BruteKernel
+// without paying its host-side execution cost at megabyte scale. The
+// equivalence of results and the cost band are covered by tests.
+func FastKernel() *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:          "lzss_find_match",
+		RegsPerThread: 28,
+		Body: func(t gpu.Thread, args []any) int64 {
+			sizeInput := args[1].(int)
+			spBuf := args[2].(*gpu.Buf).Bytes()
+			startPosSize := args[3].(int)
+			mlBuf := args[4].(*gpu.Buf).Bytes()
+			moBuf := args[5].(*gpu.Buf).Bytes()
+			pre := args[6].(*Matches)
+
+			i := t.GlobalX()
+			if i >= sizeInput {
+				return gpu.ExitCost
+			}
+			binary.LittleEndian.PutUint32(mlBuf[i*4:], uint32(pre.Len[i]))
+			binary.LittleEndian.PutUint32(moBuf[i*4:], uint32(pre.Off[i]))
+
+			// Cost: block lookup + window-span scan + extension estimate.
+			// The charged cost is the paper's linear startPos walk; the
+			// host-side lookup itself binary-searches for speed.
+			klo, khi := 0, startPosSize-1
+			for klo < khi {
+				mid := (klo + khi + 1) / 2
+				if int(int32(binary.LittleEndian.Uint32(spBuf[mid*4:]))) <= i {
+					klo = mid
+				} else {
+					khi = mid - 1
+				}
+			}
+			lo := int(int32(binary.LittleEndian.Uint32(spBuf[klo*4:])))
+			winLo := i - WindowSize
+			if winLo < lo {
+				winLo = lo
+			}
+			span := int64(i - winLo)
+			return 2*int64(startPosSize) + 3*span + 4*int64(pre.Len[i]) + 10
+		},
+	}
+}
+
+// ReadMatches deserializes the kernel's int32 output buffers.
+func ReadMatches(mlBuf, moBuf []byte, n int) (matchLen, matchOff []int32) {
+	matchLen = make([]int32, n)
+	matchOff = make([]int32, n)
+	for i := 0; i < n; i++ {
+		matchLen[i] = int32(binary.LittleEndian.Uint32(mlBuf[i*4:]))
+		matchOff[i] = int32(binary.LittleEndian.Uint32(moBuf[i*4:]))
+	}
+	return
+}

@@ -1,0 +1,297 @@
+// Package lzss implements the LZSS compression algorithm used by the
+// paper's Dedup (replacing PARSEC's gzip/bzip2, following Stein et al.
+// [24]), in the batch-oriented shape the paper's Fig. 2 describes:
+//
+//   - a 1 MB batch holds many content-defined blocks, delimited by the
+//     startPos array produced by the Rabin chunker;
+//   - FindMatches computes, for every byte position of the batch, the
+//     longest match strictly inside that position's block and within the
+//     sliding window — this is the work the paper offloads to the GPU as a
+//     single FindMatchKernel call per batch (Listing 3);
+//   - EncodeFromMatches then performs the cheap sequential entropy step on
+//     the CPU, exactly as the paper does ("In CPU, we used the result of
+//     the kernel function to run the compression on each block").
+//
+// Match semantics: a match for position i is a source range [c, c+L) with
+// c in the same block, i-c <= WindowSize, c+L <= i (no self-overlap, as in
+// the paper's kernel which stops the search at the current position), and
+// MinMatch <= L <= MaxMatch. Among longest matches the nearest source wins.
+//
+// Two implementations are provided and tested for exact equivalence: a
+// brute-force reference with the kernel's loop structure (FindMatchesRef)
+// and a hash-chain implementation (FindMatches) used both by the CPU
+// compressor and as the functional body of the GPU kernel, whose *cost
+// model* still charges the brute-force work a real GPU would do.
+package lzss
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// WindowSize is the sliding-window span in bytes (12-bit distances).
+	WindowSize = 4096
+	// MinMatch is the shortest encodable match.
+	MinMatch = 3
+	// MaxMatch is the longest encodable match (4-bit length field).
+	MaxMatch = MinMatch + 15
+)
+
+const (
+	hashBits = 15
+	hashSize = 1 << hashBits
+)
+
+// hash3 mixes three bytes into a chain bucket.
+func hash3(a, b, c byte) uint32 {
+	v := uint32(a)<<16 | uint32(b)<<8 | uint32(c)
+	return (v * 2654435761) >> (32 - hashBits) & (hashSize - 1)
+}
+
+// blockEnd returns the end offset of the block starting at startPos[k].
+func blockEnd(startPos []int32, k, inputLen int) int {
+	if k+1 < len(startPos) {
+		return int(startPos[k+1])
+	}
+	return inputLen
+}
+
+// FindMatchesRef is the brute-force reference with the same loop structure
+// as the paper's Listing 3: for every position, scan the whole window
+// backwards (nearest first) and keep the first strictly-longest match.
+// matchLen[i] is 0 when no match of at least MinMatch exists; otherwise
+// matchOff[i] is the backward distance (1..WindowSize).
+func FindMatchesRef(input []byte, startPos []int32, matchLen, matchOff []int32) {
+	checkMatchArgs(input, startPos, matchLen, matchOff)
+	for k := range startPos {
+		lo := int(startPos[k])
+		hi := blockEnd(startPos, k, len(input))
+		for i := lo; i < hi; i++ {
+			best, bestC := 0, -1
+			maxHere := hi - i
+			if maxHere > MaxMatch {
+				maxHere = MaxMatch
+			}
+			winLo := i - WindowSize
+			if winLo < lo {
+				winLo = lo
+			}
+			for c := i - 1; c >= winLo; c-- {
+				limit := maxHere
+				if d := i - c; limit > d {
+					limit = d // no overlap: source must end at or before i
+				}
+				l := 0
+				for l < limit && input[c+l] == input[i+l] {
+					l++
+				}
+				if l > best {
+					best, bestC = l, c
+					if best == maxHere {
+						break
+					}
+				}
+			}
+			if best >= MinMatch {
+				matchLen[i] = int32(best)
+				matchOff[i] = int32(i - bestC)
+			} else {
+				matchLen[i] = 0
+				matchOff[i] = 0
+			}
+		}
+	}
+}
+
+// FindMatches computes the same result as FindMatchesRef using per-block
+// hash chains: only candidates sharing the first three bytes are visited,
+// which cannot change the outcome because shorter candidates can never
+// reach MinMatch. Candidates are walked nearest-first, matching the
+// reference tie-break.
+func FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
+	checkMatchArgs(input, startPos, matchLen, matchOff)
+	head := make([]int32, hashSize)
+	stamp := make([]int32, hashSize)
+	prev := make([]int32, len(input))
+	epoch := int32(0)
+	for k := range startPos {
+		lo := int(startPos[k])
+		hi := blockEnd(startPos, k, len(input))
+		epoch++
+		for i := lo; i < hi; i++ {
+			best, bestC := 0, -1
+			maxHere := hi - i
+			if maxHere > MaxMatch {
+				maxHere = MaxMatch
+			}
+			if maxHere >= MinMatch {
+				h := hash3(input[i], input[i+1], input[i+2])
+				if stamp[h] == epoch {
+					winLo := i - WindowSize
+					if winLo < lo {
+						winLo = lo
+					}
+					for c := head[h]; c >= int32(winLo); c = prev[c] {
+						limit := maxHere
+						if d := i - int(c); limit > d {
+							limit = d
+						}
+						l := 0
+						for l < limit && input[int(c)+l] == input[i+l] {
+							l++
+						}
+						if l > best {
+							best, bestC = l, int(c)
+							if best == maxHere {
+								break
+							}
+						}
+					}
+				}
+				// Insert i for later positions (candidates are strictly
+				// earlier, so insert after searching).
+				if stamp[h] == epoch {
+					prev[i] = head[h]
+				} else {
+					stamp[h] = epoch
+					prev[i] = -1
+				}
+				head[h] = int32(i)
+			}
+			if best >= MinMatch {
+				matchLen[i] = int32(best)
+				matchOff[i] = int32(i - bestC)
+			} else {
+				matchLen[i] = 0
+				matchOff[i] = 0
+			}
+		}
+	}
+}
+
+func checkMatchArgs(input []byte, startPos []int32, matchLen, matchOff []int32) {
+	if len(matchLen) < len(input) || len(matchOff) < len(input) {
+		panic(fmt.Sprintf("lzss: match arrays too short: %d/%d for %d bytes",
+			len(matchLen), len(matchOff), len(input)))
+	}
+	for k, s := range startPos {
+		if int(s) > len(input) || (k > 0 && s <= startPos[k-1]) || s < 0 {
+			panic(fmt.Sprintf("lzss: bad startPos[%d]=%d", k, s))
+		}
+	}
+	if len(input) > 0 && (len(startPos) == 0 || startPos[0] != 0) {
+		panic("lzss: startPos must begin with 0")
+	}
+}
+
+// EncodeFromMatches greedily encodes the block [lo, hi) of the batch using
+// the precomputed per-position matches (batch-absolute indices). The output
+// is self-contained: a uvarint of the uncompressed length followed by the
+// token stream.
+func EncodeFromMatches(input []byte, lo, hi int, matchLen, matchOff []int32) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(hi-lo))
+	out := make([]byte, n, (hi-lo)/2+16)
+	copy(out, hdr[:n])
+
+	var flags byte
+	var nflags int
+	flagPos := -1
+	emitFlag := func(bit byte) {
+		if nflags == 0 {
+			flagPos = len(out)
+			out = append(out, 0)
+		}
+		flags |= bit << uint(nflags)
+		nflags++
+		out[flagPos] = flags
+		if nflags == 8 {
+			flags, nflags = 0, 0
+		}
+	}
+
+	i := lo
+	for i < hi {
+		l := int(matchLen[i])
+		if l >= MinMatch {
+			d := int(matchOff[i])
+			emitFlag(1)
+			v := uint16(d-1)<<4 | uint16(l-MinMatch)
+			out = append(out, byte(v>>8), byte(v))
+			i += l
+		} else {
+			emitFlag(0)
+			out = append(out, input[i])
+			i++
+		}
+	}
+	return out
+}
+
+// Compress encodes a single standalone block.
+func Compress(block []byte) []byte {
+	if len(block) == 0 {
+		return []byte{0}
+	}
+	matchLen := make([]int32, len(block))
+	matchOff := make([]int32, len(block))
+	FindMatches(block, []int32{0}, matchLen, matchOff)
+	return EncodeFromMatches(block, 0, len(block), matchLen, matchOff)
+}
+
+// ErrCorrupt is returned by Decompress for malformed input.
+var ErrCorrupt = errors.New("lzss: corrupt input")
+
+// Decompress decodes a block produced by Compress/EncodeFromMatches.
+func Decompress(comp []byte) ([]byte, error) {
+	n, used := binary.Uvarint(comp)
+	if used <= 0 {
+		return nil, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
+	}
+	out := make([]byte, 0, n)
+	p := used
+	var flags byte
+	var nflags int
+	for uint64(len(out)) < n {
+		if nflags == 0 {
+			if p >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated at flag byte", ErrCorrupt)
+			}
+			flags = comp[p]
+			p++
+			nflags = 8
+		}
+		isPair := flags&1 == 1
+		flags >>= 1
+		nflags--
+		if isPair {
+			if p+2 > len(comp) {
+				return nil, fmt.Errorf("%w: truncated pair", ErrCorrupt)
+			}
+			v := uint16(comp[p])<<8 | uint16(comp[p+1])
+			p += 2
+			d := int(v>>4) + 1
+			l := int(v&0xF) + MinMatch
+			src := len(out) - d
+			if src < 0 || src+l > len(out) {
+				return nil, fmt.Errorf("%w: pair (d=%d,l=%d) out of range at %d", ErrCorrupt, d, l, len(out))
+			}
+			out = append(out, out[src:src+l]...)
+		} else {
+			if p >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+			}
+			out = append(out, comp[p])
+			p++
+		}
+	}
+	if uint64(len(out)) != n {
+		return nil, fmt.Errorf("%w: length mismatch", ErrCorrupt)
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package mandel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+	"streamgpu/internal/tbb"
+)
+
+func TestPixelKnownPoints(t *testing.T) {
+	p := Params{Dim: 100, Niter: 1000, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	// (0,0) maps to c = -2 - 1.25i, clearly outside: escapes fast.
+	if k := p.Pixel(0, 0); k >= 20 {
+		t.Errorf("corner point escape count = %d, want small", k)
+	}
+	// The image center (50,50) maps to c = -0.75 + 0i, inside the set.
+	if k := p.Pixel(50, 50); k != p.Niter {
+		t.Errorf("interior point escape count = %d, want Niter=%d", k, p.Niter)
+	}
+}
+
+func TestColorRange(t *testing.T) {
+	p := TestParams()
+	if c := p.Color(p.Niter); c != 255-byte(255) {
+		t.Errorf("interior color = %d, want 0", c)
+	}
+	if c := p.Color(0); c != 255 {
+		t.Errorf("instant-escape color = %d, want 255", c)
+	}
+}
+
+func TestComputeRowIterationCount(t *testing.T) {
+	p := TestParams()
+	img := make([]byte, p.Dim)
+	iters := p.ComputeRow(p.Dim/2, img)
+	// The middle row crosses the interior: expect a large share of pixels
+	// at full Niter.
+	if iters < int64(p.Niter)*int64(p.Dim)/10 {
+		t.Errorf("middle row iterations = %d, implausibly low", iters)
+	}
+}
+
+func TestSeqCompletes(t *testing.T) {
+	p := TestParams()
+	im, iters := RunSeq(p)
+	if !im.Complete() {
+		t.Fatal("sequential image incomplete")
+	}
+	if iters <= 0 {
+		t.Fatal("no iterations counted")
+	}
+}
+
+// All parallel versions must produce bit-identical frames to sequential.
+func TestParallelVersionsMatchSeq(t *testing.T) {
+	p := TestParams()
+	want, _ := RunSeq(p)
+
+	t.Run("spar", func(t *testing.T) {
+		im, err := RunSPar(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(im.Pix, want.Pix) {
+			t.Error("SPar frame differs from sequential")
+		}
+	})
+	t.Run("ff", func(t *testing.T) {
+		im, err := RunFF(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(im.Pix, want.Pix) {
+			t.Error("FastFlow frame differs from sequential")
+		}
+	})
+	t.Run("tbb", func(t *testing.T) {
+		s := tbb.NewScheduler(4)
+		defer s.Shutdown()
+		im := RunTBB(p, s, 8)
+		if !bytes.Equal(im.Pix, want.Pix) {
+			t.Error("TBB frame differs from sequential")
+		}
+	})
+}
+
+func TestRowKernelMatchesCPU(t *testing.T) {
+	p := TestParams()
+	want, _ := RunSeq(p)
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	got := make([]byte, p.Dim*p.Dim)
+	sim.Spawn("host", func(proc *des.Proc) {
+		st := dev.NewStream("")
+		dImg := dev.MustMalloc(int64(p.Dim))
+		hImg := gpu.NewPinnedBuf(int64(p.Dim))
+		for i := 0; i < p.Dim; i++ {
+			st.Launch(proc, RowKernel.Bind(i, p, dImg, int64(160)), gpu.Grid1D(p.Dim, 128))
+			st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
+			st.Synchronize(proc)
+			copy(got[i*p.Dim:], hImg.Data)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Pix) {
+		t.Fatal("row-kernel frame differs from CPU")
+	}
+}
+
+func TestRowKernel2DGridMatchesCPU(t *testing.T) {
+	// The "2D threads and blocks" configuration must still be functionally
+	// correct (it is only slower).
+	p := TestParams()
+	want, _ := RunSeq(p)
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	row := 17
+	got := make([]byte, p.Dim)
+	sim.Spawn("host", func(proc *des.Proc) {
+		st := dev.NewStream("")
+		dImg := dev.MustMalloc(int64(p.Dim))
+		hImg := gpu.NewPinnedBuf(int64(p.Dim))
+		g := gpu.Grid{Grid: gpu.Dim3{X: (p.Dim + 1023) / 1024}, Block: gpu.Dim3{X: 32, Y: 32}}
+		st.Launch(proc, RowKernel.Bind(row, p, dImg, int64(160)), g)
+		st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
+		st.Synchronize(proc)
+		copy(got, hImg.Data)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Pix[row*p.Dim:(row+1)*p.Dim]) {
+		t.Fatal("2D-grid row differs from CPU")
+	}
+}
+
+func TestBatchKernelMatchesCPU(t *testing.T) {
+	p := TestParams()
+	want, _ := RunSeq(p)
+	const batchSize = 32
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	got := make([]byte, p.Dim*p.Dim)
+	sim.Spawn("host", func(proc *des.Proc) {
+		st := dev.NewStream("")
+		dImg := dev.MustMalloc(int64(batchSize * p.Dim))
+		hImg := gpu.NewPinnedBuf(int64(batchSize * p.Dim))
+		nBatches := (p.Dim + batchSize - 1) / batchSize
+		for b := 0; b < nBatches; b++ {
+			rows := batchSize
+			if (b+1)*batchSize > p.Dim {
+				rows = p.Dim - b*batchSize
+			}
+			st.Launch(proc, BatchKernel.Bind(b, batchSize, p, dImg, int64(160)),
+				gpu.Grid1D(rows*p.Dim, 128))
+			st.CopyD2H(proc, hImg, 0, dImg, 0, int64(rows*p.Dim))
+			st.Synchronize(proc)
+			copy(got[b*batchSize*p.Dim:], hImg.Data[:rows*p.Dim])
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Pix) {
+		t.Fatal("batch-kernel frame differs from CPU")
+	}
+}
+
+// Property: pixel escape counts are deterministic and bounded by Niter.
+func TestPixelBoundsProperty(t *testing.T) {
+	p := TestParams()
+	f := func(iSeed, jSeed uint16) bool {
+		i := int(iSeed) % p.Dim
+		j := int(jSeed) % p.Dim
+		k := p.Pixel(i, j)
+		return k >= 0 && k <= p.Niter && k == p.Pixel(i, j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parallel SPar output equals sequential for random worker
+// counts.
+func TestSParMatchesSeqProperty(t *testing.T) {
+	p := Params{Dim: 48, Niter: 64, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	want, _ := RunSeq(p)
+	f := func(wSeed uint8) bool {
+		w := int(wSeed)%8 + 1
+		im, err := RunSPar(p, w)
+		return err == nil && bytes.Equal(im.Pix, want.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSeqRow(b *testing.B) {
+	p := Params{Dim: 512, Niter: 1024, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	img := make([]byte, p.Dim)
+	for i := 0; i < b.N; i++ {
+		p.ComputeRow(i%p.Dim, img)
+	}
+}
+
+func BenchmarkSParFrame(b *testing.B) {
+	p := Params{Dim: 256, Niter: 512, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSPar(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFFrame(b *testing.B) {
+	p := Params{Dim: 256, Niter: 512, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFF(p, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTBBFrame(b *testing.B) {
+	p := Params{Dim: 256, Niter: 512, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	s := tbb.NewScheduler(8)
+	defer s.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunTBB(p, s, 16)
+	}
+}
+
+// The experiment harness uses the cached kernels; they must be bit- and
+// cost-identical to the direct kernels.
+func TestCachedKernelsMatchDirect(t *testing.T) {
+	p := TestParams()
+	cache, total := NewIterCache(p)
+	if total <= 0 {
+		t.Fatal("cache reported no iterations")
+	}
+	const iterCycles = int64(123)
+
+	type variant struct {
+		name           string
+		direct, cached *gpu.KernelSpec
+		directArgs     func(img *gpu.Buf) []any
+		cachedArgs     func(img *gpu.Buf) []any
+		grid           gpu.Grid
+	}
+	row := 33
+	variants := []variant{
+		{
+			name: "row", direct: RowKernel, cached: cache.RowKernel(),
+			directArgs: func(img *gpu.Buf) []any { return []any{row, p, img, iterCycles} },
+			cachedArgs: func(img *gpu.Buf) []any { return []any{row, img, iterCycles} },
+			grid:       gpu.Grid1D(p.Dim, 128),
+		},
+		{
+			name: "row2d", direct: Row2DKernel, cached: cache.Row2DKernel(),
+			directArgs: func(img *gpu.Buf) []any { return []any{row, p, img, iterCycles} },
+			cachedArgs: func(img *gpu.Buf) []any { return []any{row, img, iterCycles} },
+			grid:       Grid2DForRow(p.Dim),
+		},
+		{
+			name: "batch", direct: BatchKernel, cached: cache.BatchKernel(),
+			directArgs: func(img *gpu.Buf) []any { return []any{1, 16, p, img, iterCycles} },
+			cachedArgs: func(img *gpu.Buf) []any { return []any{1, 16, img, iterCycles} },
+			grid:       gpu.Grid1D(16*p.Dim, 128),
+		},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func(spec *gpu.KernelSpec, args func(*gpu.Buf) []any) ([]byte, des.Time) {
+				sim := des.New()
+				dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+				n := int64(v.grid.Threads())
+				if n < int64(16*p.Dim) {
+					n = int64(16 * p.Dim)
+				}
+				out := make([]byte, n)
+				sim.Spawn("host", func(proc *des.Proc) {
+					dImg := dev.MustMalloc(n)
+					st := dev.NewStream("")
+					st.Launch(proc, spec.Bind(args(dImg)...), v.grid)
+					st.Synchronize(proc)
+					copy(out, dImg.Bytes())
+				})
+				end, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, end
+			}
+			dPix, dTime := run(v.direct, v.directArgs)
+			cPix, cTime := run(v.cached, v.cachedArgs)
+			if !bytes.Equal(dPix, cPix) {
+				t.Error("cached kernel pixels differ from direct kernel")
+			}
+			if dTime != cTime {
+				t.Errorf("cached kernel cost %v differs from direct %v", cTime, dTime)
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+// Package rabin implements Rabin fingerprinting over a sliding window and
+// content-defined chunking on top of it — the fragmentation algorithm
+// PARSEC's dedup uses to find block boundaries.
+//
+// A Rabin fingerprint treats bytes as coefficients of a polynomial over
+// GF(2) and reduces modulo an irreducible polynomial P. Because the
+// fingerprint of a sliding window can be updated in O(1) per byte (push the
+// incoming byte, pop the outgoing one via precomputed tables), it is the
+// standard tool for finding content-defined cut points: a boundary is
+// declared wherever fp mod 2^avgBits == magic, so boundaries move with the
+// content rather than with file offsets — insertions only disturb
+// neighbouring blocks, which is what makes deduplication effective.
+//
+// The paper's GPU Dedup keeps this exact algorithm on the CPU ("in order to
+// still benefit from the rabin fingerprint, we ran the algorithm on CPU and
+// saved all the indexes") and our internal/dedup does the same.
+package rabin
+
+// DefaultPoly is a degree-53 irreducible polynomial over GF(2), the one
+// used by LBFS and PARSEC's dedup (0x3DA3358B4DC173).
+const DefaultPoly uint64 = 0x3DA3358B4DC173
+
+// WindowSize is the sliding window length in bytes (PARSEC dedup uses 32).
+const WindowSize = 32
+
+// Table holds the precomputed push/pop tables for one polynomial.
+type Table struct {
+	poly  uint64
+	shift uint // degree of poly minus 1: position of the top coefficient
+	modT  [256]uint64
+	outT  [256]uint64
+}
+
+// NewTable builds tables for the given irreducible polynomial, which must
+// have degree >= 9 (so a whole byte fits under the top coefficient).
+func NewTable(poly uint64) *Table {
+	d := deg(poly)
+	if d < 9 {
+		panic("rabin: polynomial degree must be >= 9")
+	}
+	t := &Table{poly: poly, shift: uint(d) - 8}
+	// modT[b] clears the top byte b sitting at bit position deg(poly) and
+	// XORs in its reduction, so `x ^ modT[x>>shift]` reduces x in one step.
+	for b := 0; b < 256; b++ {
+		v := uint64(b) << uint(d)
+		t.modT[b] = v ^ mod(v, poly)
+	}
+	// outT[b] = (b << (8*(WindowSize-1))) mod poly — the contribution of
+	// the byte leaving the window.
+	for b := 0; b < 256; b++ {
+		t.outT[b] = polyShiftMod(uint64(b), 8*(WindowSize-1), poly)
+	}
+	return t
+}
+
+// deg returns the degree of the polynomial (position of the highest set
+// bit).
+func deg(p uint64) int {
+	d := -1
+	for i := 0; i < 64; i++ {
+		if p&(1<<uint(i)) != 0 {
+			d = i
+		}
+	}
+	return d
+}
+
+// mod reduces x modulo polynomial p over GF(2).
+func mod(x, p uint64) uint64 {
+	d := deg(p)
+	for i := 63; i >= d; i-- {
+		if x&(1<<uint(i)) != 0 {
+			x ^= p << uint(i-d)
+		}
+	}
+	return x
+}
+
+// polyShiftMod computes (x << n) mod p by repeated squaring-free shifting
+// (8 bits at a time via mod).
+func polyShiftMod(x uint64, n int, p uint64) uint64 {
+	for i := 0; i < n; i++ {
+		x <<= 1
+		if deg(x) >= deg(p) {
+			x ^= p
+		}
+	}
+	return x
+}
+
+// defaultTable is shared by everyone using DefaultPoly.
+var defaultTable = NewTable(DefaultPoly)
+
+// Window is a rolling fingerprint over the last WindowSize bytes.
+type Window struct {
+	t   *Table
+	fp  uint64
+	win [WindowSize]byte
+	pos int
+}
+
+// NewWindow creates an empty rolling window using the default polynomial.
+func NewWindow() *Window { return &Window{t: defaultTable} }
+
+// NewWindowWith creates a rolling window with custom tables.
+func NewWindowWith(t *Table) *Window { return &Window{t: t} }
+
+// Reset clears the window state.
+func (w *Window) Reset() {
+	w.fp = 0
+	w.pos = 0
+	w.win = [WindowSize]byte{}
+}
+
+// Roll slides the window one byte forward and returns the new fingerprint.
+func (w *Window) Roll(b byte) uint64 {
+	out := w.win[w.pos]
+	w.win[w.pos] = b
+	w.pos = (w.pos + 1) % WindowSize
+	// Remove the leaving byte, shift in the new one, reduce via the fold
+	// table. The invariant fp < 2^deg(poly) holds across rolls.
+	w.fp ^= w.t.outT[out]
+	top := byte(w.fp >> w.t.shift)
+	w.fp = ((w.fp << 8) | uint64(b)) ^ w.t.modT[top]
+	return w.fp
+}
+
+// Fingerprint returns the current window fingerprint.
+func (w *Window) Fingerprint() uint64 { return w.fp }
+
+// Chunker finds content-defined block boundaries. AvgBits controls the
+// expected block size (2^AvgBits bytes); Min and Max clamp block sizes, as
+// dedup implementations do to avoid degenerate tiny/huge blocks.
+type Chunker struct {
+	Table   *Table
+	AvgBits uint
+	Min     int
+	Max     int
+	Magic   uint64
+}
+
+// NewChunker returns a chunker with PARSEC-dedup-like defaults: expected
+// block 2 KiB, minimum 256 B, maximum 16 KiB.
+func NewChunker() *Chunker {
+	return &Chunker{Table: defaultTable, AvgBits: 11, Min: 256, Max: 16 * 1024, Magic: 0x78}
+}
+
+// Boundaries returns the block start offsets for data — the startPos array
+// of the paper's Fig. 2. The first boundary is always 0; each block is
+// between Min and Max bytes except possibly the last.
+func (c *Chunker) Boundaries(data []byte) []int32 {
+	if len(data) == 0 {
+		return nil
+	}
+	mask := (uint64(1) << c.AvgBits) - 1
+	magic := c.Magic & mask
+	starts := []int32{0}
+	w := NewWindowWith(c.Table)
+	blockStart := 0
+	for i := 0; i < len(data); i++ {
+		fp := w.Roll(data[i])
+		size := i - blockStart + 1
+		if size < c.Min {
+			continue
+		}
+		if fp&mask == magic || size >= c.Max {
+			if i+1 < len(data) {
+				starts = append(starts, int32(i+1))
+				blockStart = i + 1
+				w.Reset()
+			}
+		}
+	}
+	return starts
+}
+
+// Split cuts data into blocks at the chunker's boundaries.
+func (c *Chunker) Split(data []byte) [][]byte {
+	starts := c.Boundaries(data)
+	blocks := make([][]byte, 0, len(starts))
+	for i, s := range starts {
+		end := len(data)
+		if i+1 < len(starts) {
+			end = int(starts[i+1])
+		}
+		blocks = append(blocks, data[s:end])
+	}
+	return blocks
+}

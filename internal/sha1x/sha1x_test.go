@@ -1,0 +1,189 @@
+package sha1x
+
+import (
+	"bytes"
+	crypto "crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+)
+
+// Known-answer tests from FIPS 180-4 / RFC 3174.
+func TestKnownVectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq", "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+		{"The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+	}
+	for _, v := range vectors {
+		got := fmt.Sprintf("%x", Sum20([]byte(v.in)))
+		if got != v.want {
+			t.Errorf("Sum20(%q) = %s, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 10_000)
+	rng.Read(data)
+	for _, chunk := range []int{1, 7, 63, 64, 65, 1000} {
+		d := New()
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			d.Write(data[off:end])
+		}
+		got := d.Sum(nil)
+		want := Sum20(data)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("chunked write (%d) digest mismatch", chunk)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello "))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("repeated Sum changed the digest")
+	}
+	d.Write([]byte("world"))
+	want := Sum20([]byte("hello world"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("Write after Sum produced wrong digest")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum20([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestInterfaceSizes(t *testing.T) {
+	d := New()
+	if d.Size() != 20 || d.BlockSize() != 64 {
+		t.Errorf("Size=%d BlockSize=%d", d.Size(), d.BlockSize())
+	}
+}
+
+// Property: our implementation agrees with crypto/sha1 on random inputs of
+// every length, including the padding boundary cases around 55/56/64 bytes.
+func TestAgainstStdlibProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		want := crypto.Sum(data)
+		got := Sum20(data)
+		return got == [20]byte(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic sweep over the padding boundary.
+	for n := 0; n <= 130; n++ {
+		data := bytes.Repeat([]byte{byte(n)}, n)
+		want := crypto.Sum(data)
+		if got := Sum20(data); got != [20]byte(want) {
+			t.Errorf("length %d: digest mismatch", n)
+		}
+	}
+}
+
+func TestStreamingAgainstStdlibProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		ours := New()
+		ref := crypto.New()
+		for _, c := range chunks {
+			ours.Write(c)
+			ref.Write(c)
+		}
+		return bytes.Equal(ours.Sum(nil), ref.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelHashesBlocks(t *testing.T) {
+	// Batch of 5 blocks with irregular boundaries; each digest must equal
+	// the host hash of that block.
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]byte, 4096)
+	rng.Read(batch)
+	startPos := []int32{0, 100, 101, 1500, 4000}
+
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	out := gpu.NewPinnedBuf(int64(len(startPos) * Size))
+	sim.Spawn("host", func(p *des.Proc) {
+		dIn := dev.MustMalloc(int64(len(batch)))
+		dSp := dev.MustMalloc(int64(len(startPos) * 4))
+		dOut := dev.MustMalloc(int64(len(startPos) * Size))
+		hIn := gpu.WrapHost(batch)
+		spBytes := make([]byte, len(startPos)*4)
+		PutStartPos(spBytes, startPos)
+		st := dev.NewStream("")
+		st.CopyH2D(p, dIn, 0, hIn, 0, int64(len(batch)))
+		st.CopyH2D(p, dSp, 0, gpu.WrapHost(spBytes), 0, int64(len(spBytes)))
+		st.Launch(p, Kernel.Bind(dIn, dSp, len(startPos), len(batch), dOut), gpu.Grid1D(len(startPos), 64))
+		st.CopyD2H(p, out, 0, dOut, 0, int64(len(out.Data)))
+		st.Synchronize(p)
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range startPos {
+		lo := int(startPos[i])
+		hi := len(batch)
+		if i+1 < len(startPos) {
+			hi = int(startPos[i+1])
+		}
+		want := crypto.Sum(batch[lo:hi])
+		got := out.Data[i*Size : (i+1)*Size]
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("block %d [%d:%d): kernel digest mismatch", i, lo, hi)
+		}
+	}
+}
+
+func TestPutStartPosRoundTrip(t *testing.T) {
+	sp := []int32{0, 5, 1 << 20, 1<<31 - 1}
+	buf := make([]byte, len(sp)*4)
+	PutStartPos(buf, sp)
+	for i, want := range sp {
+		if got := int32(binary.LittleEndian.Uint32(buf[i*4:])); got != want {
+			t.Errorf("startPos[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkSum1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum20(data)
+	}
+}
+
+func BenchmarkSum64K(b *testing.B) {
+	data := make([]byte, 64*1024)
+	b.SetBytes(64 * 1024)
+	for i := 0; i < b.N; i++ {
+		Sum20(data)
+	}
+}

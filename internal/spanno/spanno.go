@@ -1,0 +1,310 @@
+// Package spanno parses SPar's C++11 attribute annotation language — the
+// textual front end of the SPar compiler. It recognizes the five SPar
+// attributes inside double-bracket annotations:
+//
+//	[[spar::ToStream, spar::Input(dim, init_a, init_b, step, niter)]]
+//	[[spar::Stage, spar::Input(i, im), spar::Output(img), spar::Replicate(workers)]]
+//	[[spar::Stage, spar::Input(img, dim, i)]]
+//
+// Parse scans any source text (the annotations may be embedded in C++ or
+// pseudo code), extracts the annotations in order, validates SPar's grammar
+// rules (ToStream first, at least one Stage, Replicate only on stages,
+// arguments only where allowed) and BuildGraph turns the result into the
+// core.Graph activity diagram — the same transformation the SPar
+// source-to-source compiler performs before emitting FastFlow code.
+//
+// Beyond the paper's five attributes, the package implements the paper's
+// stated future work as a sixth: spar::Pure marks a Stage as offloadable
+// to a GPU, and BuildGraph propagates it into the activity graph.
+package spanno
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"streamgpu/internal/core"
+)
+
+// AttrKind is one of the five SPar attributes.
+type AttrKind int
+
+const (
+	ToStream AttrKind = iota
+	Stage
+	Input
+	Output
+	Replicate
+	// Pure marks a Stage as side-effect free and therefore offloadable to
+	// an accelerator. It is this package's implementation of the paper's
+	// stated future work ("automatically generate parallel OpenCL and CUDA
+	// code through the SPar compilation toolchain"); SPar's later GPU
+	// extensions use the same attribute name.
+	Pure
+)
+
+var kindNames = map[string]AttrKind{
+	"ToStream":  ToStream,
+	"Stage":     Stage,
+	"Input":     Input,
+	"Output":    Output,
+	"Replicate": Replicate,
+	"Pure":      Pure,
+}
+
+func (k AttrKind) String() string {
+	for n, v := range kindNames {
+		if v == k {
+			return n
+		}
+	}
+	return fmt.Sprintf("AttrKind(%d)", int(k))
+}
+
+// Attr is a single spar::X(...) attribute.
+type Attr struct {
+	Kind AttrKind
+	Args []string
+}
+
+// Annotation is one [[...]] annotation: a list of attributes. The first
+// attribute must be an identifier attribute (ToStream or Stage); the rest
+// are auxiliary (Input, Output, Replicate).
+type Annotation struct {
+	Line  int // 1-based line in the source text
+	Attrs []Attr
+}
+
+// Identifier returns the annotation's identifier attribute kind.
+func (a Annotation) Identifier() AttrKind { return a.Attrs[0].Kind }
+
+// Find returns the first attribute of the given kind, if present.
+func (a Annotation) Find(k AttrKind) (Attr, bool) {
+	for _, at := range a.Attrs {
+		if at.Kind == k {
+			return at, true
+		}
+	}
+	return Attr{}, false
+}
+
+// ParseError reports a syntax or semantic error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spanno: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse extracts and validates every [[spar::...]] annotation in src.
+func Parse(src string) ([]Annotation, error) {
+	var anns []Annotation
+	line := 1
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\n':
+			line++
+		case '[':
+			if i+1 < len(src) && src[i+1] == '[' {
+				end := strings.Index(src[i+2:], "]]")
+				if end < 0 {
+					return nil, &ParseError{line, "unterminated [[ annotation"}
+				}
+				body := src[i+2 : i+2+end]
+				if strings.Contains(body, "spar::") {
+					ann, err := parseAnnotation(body, line)
+					if err != nil {
+						return nil, err
+					}
+					anns = append(anns, ann)
+				}
+				line += strings.Count(body, "\n")
+				i += 2 + end + 1
+			}
+		}
+	}
+	if err := validate(anns); err != nil {
+		return nil, err
+	}
+	return anns, nil
+}
+
+// parseAnnotation parses the comma-separated attribute list inside [[ ]].
+func parseAnnotation(body string, line int) (Annotation, error) {
+	ann := Annotation{Line: line}
+	rest := strings.TrimSpace(body)
+	for len(rest) > 0 {
+		var attr Attr
+		var err error
+		attr, rest, err = parseAttr(rest, line)
+		if err != nil {
+			return ann, err
+		}
+		ann.Attrs = append(ann.Attrs, attr)
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimSpace(rest[1:])
+			if rest == "" {
+				return ann, &ParseError{line, "trailing comma in annotation"}
+			}
+		} else if rest != "" {
+			return ann, &ParseError{line, fmt.Sprintf("expected ',' before %q", rest)}
+		}
+	}
+	if len(ann.Attrs) == 0 {
+		return ann, &ParseError{line, "empty annotation"}
+	}
+	first := ann.Attrs[0].Kind
+	if first != ToStream && first != Stage {
+		return ann, &ParseError{line, fmt.Sprintf("annotation must begin with ToStream or Stage, got %s", first)}
+	}
+	for _, at := range ann.Attrs[1:] {
+		if at.Kind == ToStream || at.Kind == Stage {
+			return ann, &ParseError{line, fmt.Sprintf("identifier attribute %s must come first", at.Kind)}
+		}
+	}
+	return ann, nil
+}
+
+// parseAttr parses one spar::Name or spar::Name(arg, ...) attribute.
+func parseAttr(s string, line int) (Attr, string, error) {
+	const prefix = "spar::"
+	if !strings.HasPrefix(s, prefix) {
+		return Attr{}, "", &ParseError{line, fmt.Sprintf("expected spar:: attribute, got %q", truncate(s))}
+	}
+	s = s[len(prefix):]
+	j := 0
+	for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j]))) {
+		j++
+	}
+	name := s[:j]
+	kind, ok := kindNames[name]
+	if !ok {
+		return Attr{}, "", &ParseError{line, fmt.Sprintf("unknown attribute spar::%s", name)}
+	}
+	attr := Attr{Kind: kind}
+	rest := s[j:]
+	if strings.HasPrefix(rest, "(") {
+		close := strings.Index(rest, ")")
+		if close < 0 {
+			return Attr{}, "", &ParseError{line, fmt.Sprintf("spar::%s: missing ')'", name)}
+		}
+		argstr := strings.TrimSpace(rest[1:close])
+		if argstr != "" {
+			for _, a := range strings.Split(argstr, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return Attr{}, "", &ParseError{line, fmt.Sprintf("spar::%s: empty argument", name)}
+				}
+				attr.Args = append(attr.Args, a)
+			}
+		}
+		rest = rest[close+1:]
+	}
+	// Grammar: identifiers take no args in this subset; Input/Output need
+	// at least one; Replicate exactly one.
+	switch kind {
+	case ToStream, Stage, Pure:
+		if len(attr.Args) > 0 {
+			return Attr{}, "", &ParseError{line, fmt.Sprintf("spar::%s takes no arguments", name)}
+		}
+	case Input, Output:
+		if len(attr.Args) == 0 {
+			return Attr{}, "", &ParseError{line, fmt.Sprintf("spar::%s requires at least one variable", name)}
+		}
+	case Replicate:
+		if len(attr.Args) != 1 {
+			return Attr{}, "", &ParseError{line, "spar::Replicate requires exactly one argument"}
+		}
+	}
+	return attr, rest, nil
+}
+
+func truncate(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+// validate applies the cross-annotation rules: exactly one ToStream, which
+// must come first and contain at least one Stage; Replicate is only valid
+// on Stage annotations.
+func validate(anns []Annotation) error {
+	if len(anns) == 0 {
+		return nil
+	}
+	if anns[0].Identifier() != ToStream {
+		return &ParseError{anns[0].Line, "first annotation must be spar::ToStream"}
+	}
+	stages := 0
+	for i, a := range anns {
+		if i > 0 && a.Identifier() == ToStream {
+			return &ParseError{a.Line, "nested spar::ToStream regions are not supported"}
+		}
+		if a.Identifier() == Stage {
+			stages++
+		}
+		if _, ok := a.Find(Replicate); ok && a.Identifier() != Stage {
+			return &ParseError{a.Line, "spar::Replicate is only valid on a Stage"}
+		}
+		if _, ok := a.Find(Pure); ok && a.Identifier() != Stage {
+			return &ParseError{a.Line, "spar::Pure is only valid on a Stage"}
+		}
+	}
+	if stages == 0 {
+		return &ParseError{anns[0].Line, "ToStream region must contain at least one Stage"}
+	}
+	return nil
+}
+
+// ReplicateDegree resolves a Stage's Replicate argument: integer literals
+// are used directly; identifiers (like "workers") are looked up in env,
+// defaulting to def when absent.
+func ReplicateDegree(a Annotation, env map[string]int, def int) int {
+	at, ok := a.Find(Replicate)
+	if !ok {
+		return 1
+	}
+	arg := at.Args[0]
+	if n, err := strconv.Atoi(arg); err == nil && n >= 1 {
+		return n
+	}
+	if env != nil {
+		if n, ok := env[arg]; ok && n >= 1 {
+			return n
+		}
+	}
+	return def
+}
+
+// BuildGraph performs the SPar front-end transformation: annotations →
+// activity graph (pipeline with farms for replicated stages). env resolves
+// symbolic Replicate degrees; def is the degree for unresolved symbols.
+func BuildGraph(anns []Annotation, env map[string]int, def int) (core.Graph, error) {
+	if err := validate(anns); err != nil {
+		return core.Graph{}, err
+	}
+	if len(anns) == 0 {
+		return core.Graph{}, &ParseError{1, "no spar annotations found"}
+	}
+	g := core.Graph{}
+	g.Stages = append(g.Stages, core.GraphStage{Name: "ToStream", Replicate: 1})
+	sn := 0
+	for _, a := range anns[1:] {
+		if a.Identifier() != Stage {
+			continue
+		}
+		sn++
+		_, pure := a.Find(Pure)
+		g.Stages = append(g.Stages, core.GraphStage{
+			Name:      fmt.Sprintf("S%d", sn),
+			Replicate: ReplicateDegree(a, env, def),
+			Offload:   pure,
+		})
+	}
+	return g, nil
+}

@@ -1,0 +1,137 @@
+// Package stats provides the small statistics and rendering helpers the
+// experiment harness uses: mean/stddev over repeated samples (the paper
+// reports arithmetic means and standard deviations over 10 samples) and
+// fixed-width table / ASCII bar rendering for regenerating the figures on a
+// terminal.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation (+Inf for an empty sample).
+func (s *Sample) Min() float64 {
+	min := math.Inf(1)
+	for _, x := range s.xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (-Inf for an empty sample).
+func (s *Sample) Max() float64 {
+	max := math.Inf(-1)
+	for _, x := range s.xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Row is one labelled measurement of a figure: a time (or throughput) plus
+// the derived speedup column.
+type Row struct {
+	Label   string
+	Value   float64 // seconds or MB/s, per the figure's unit
+	Speedup float64 // vs the figure's baseline (0 = not applicable)
+	Stddev  float64
+}
+
+// Table renders rows in the fixed-width layout cmd/figures prints.
+type Table struct {
+	Title string
+	Unit  string // "s" (execution time) or "MB/s" (throughput)
+	Rows  []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(r Row) { t.Rows = append(t.Rows, r) }
+
+// String renders the table with an ASCII bar per row, scaled to the
+// largest value.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(t.Title)))
+	max := 0.0
+	labelW := 10
+	for _, r := range t.Rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range t.Rows {
+		bar := ""
+		if max > 0 {
+			n := int(r.Value / max * 40)
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&b, "%-*s  %12.3f %-5s", labelW, r.Label, r.Value, t.Unit)
+		if r.Speedup > 0 {
+			fmt.Fprintf(&b, " %8.1fx", r.Speedup)
+		} else {
+			fmt.Fprintf(&b, " %9s", "")
+		}
+		if r.Stddev > 0 {
+			fmt.Fprintf(&b, " ±%.3f", r.Stddev)
+		}
+		fmt.Fprintf(&b, "  %s\n", bar)
+	}
+	return b.String()
+}
+
+// Find returns the row with the given label, if present.
+func (t *Table) Find(label string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Row{}, false
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of the classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if d := s.StdDev(); math.Abs(d-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", d, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Error("empty sample should have zero mean/stddev")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.StdDev() != 0 {
+		t.Errorf("single sample: mean %v stddev %v", s.Mean(), s.StdDev())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "Fig. X", Unit: "s"}
+	tab.Add(Row{Label: "Sequential", Value: 400, Speedup: 1})
+	tab.Add(Row{Label: "CUDA", Value: 5.4, Speedup: 74, Stddev: 0.1})
+	out := tab.String()
+	for _, want := range []string{"Fig. X", "Sequential", "CUDA", "74.0x", "±0.100", "####"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the full bar.
+	lines := strings.Split(out, "\n")
+	var seqBar string
+	for _, l := range lines {
+		if strings.Contains(l, "Sequential") {
+			seqBar = l
+		}
+	}
+	if !strings.Contains(seqBar, strings.Repeat("#", 40)) {
+		t.Errorf("largest row should have a full 40-char bar: %q", seqBar)
+	}
+}
+
+func TestTableFind(t *testing.T) {
+	tab := &Table{}
+	tab.Add(Row{Label: "a", Value: 1})
+	if r, ok := tab.Find("a"); !ok || r.Value != 1 {
+		t.Error("Find(a) failed")
+	}
+	if _, ok := tab.Find("missing"); ok {
+		t.Error("Find(missing) should fail")
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestSampleInvariantsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true // skip inputs whose sum overflows float64
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

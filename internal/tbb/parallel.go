@@ -1,0 +1,123 @@
+package tbb
+
+// ParallelFor executes body over [lo, hi) by recursive range splitting:
+// each task splits its range in half, spawning the right half into the
+// local deque until ranges reach the grain size. Idle workers steal the
+// large ranges first (FIFO steals), giving the classic work-stealing
+// load balance.
+func ParallelFor(s *Scheduler, lo, hi, grain int, body func(lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	g := s.NewGroup()
+	var split func(w *Worker, lo, hi int)
+	split = func(w *Worker, lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			l, r := mid, hi
+			g.SpawnIn(w, func(w *Worker) { split(w, l, r) })
+			hi = mid
+		}
+		body(lo, hi)
+	}
+	g.Go(func(w *Worker) { split(w, lo, hi) })
+	g.Wait()
+}
+
+// ParallelForEach applies fn to every element of items with work stealing.
+func ParallelForEach[T any](s *Scheduler, items []T, grain int, fn func(*T)) {
+	ParallelFor(s, 0, len(items), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(&items[i])
+		}
+	})
+}
+
+// ParallelScan computes the inclusive prefix "sum" of items under an
+// associative combine with the given identity (tbb::parallel_scan, one of
+// the patterns §III-B lists). It uses the classic two-phase scheme: chunk
+// reductions in parallel, a sequential exclusive scan over the chunk sums,
+// then parallel per-chunk completion.
+func ParallelScan[T any](s *Scheduler, items []T, grain int, identity T, combine func(T, T) T) []T {
+	n := len(items)
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	nChunks := (n + grain - 1) / grain
+	sums := make([]T, nChunks)
+	// Phase 1: per-chunk reductions.
+	ParallelFor(s, 0, nChunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			acc := identity
+			end := min((c+1)*grain, n)
+			for i := c * grain; i < end; i++ {
+				acc = combine(acc, items[i])
+			}
+			sums[c] = acc
+		}
+	})
+	// Phase 2: exclusive scan of chunk sums (sequential, nChunks is small).
+	prefixes := make([]T, nChunks)
+	acc := identity
+	for c := 0; c < nChunks; c++ {
+		prefixes[c] = acc
+		acc = combine(acc, sums[c])
+	}
+	// Phase 3: completion — per-chunk inclusive scan seeded by its prefix.
+	ParallelFor(s, 0, nChunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			acc := prefixes[c]
+			end := min((c+1)*grain, n)
+			for i := c * grain; i < end; i++ {
+				acc = combine(acc, items[i])
+				out[i] = acc
+			}
+		}
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reduce computes a parallel reduction of items with the given associative
+// combine function and identity value.
+func Reduce[T, R any](s *Scheduler, items []T, grain int, identity R, mapFn func(T) R, combine func(R, R) R) R {
+	if len(items) == 0 {
+		return identity
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	nChunks := (len(items) + grain - 1) / grain
+	parts := make([]R, nChunks)
+	ParallelFor(s, 0, nChunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			acc := identity
+			end := (c + 1) * grain
+			if end > len(items) {
+				end = len(items)
+			}
+			for i := c * grain; i < end; i++ {
+				acc = combine(acc, mapFn(items[i]))
+			}
+			parts[c] = acc
+		}
+	})
+	acc := identity
+	for _, p := range parts {
+		acc = combine(acc, p)
+	}
+	return acc
+}

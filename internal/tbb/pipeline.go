@@ -1,0 +1,172 @@
+package tbb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode is a filter's concurrency mode, mirroring tbb::filter modes.
+type Mode int
+
+const (
+	// Parallel filters process any number of items concurrently
+	// (tbb::filter::parallel) — the mode the paper uses for Mandelbrot's
+	// compute stage.
+	Parallel Mode = iota
+	// Serial filters process one item at a time in arrival order
+	// (serial_out_of_order).
+	Serial
+	// SerialInOrder filters process one item at a time in the order items
+	// entered the pipeline (serial_in_order) — display/write stages.
+	SerialInOrder
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Parallel:
+		return "parallel"
+	case Serial:
+		return "serial_out_of_order"
+	case SerialInOrder:
+		return "serial_in_order"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Filter is one pipeline stage. The first filter of a pipeline is the input
+// filter: its Fn is called with nil and returns the next stream item, or
+// nil to end the stream. Later filters transform items and must not return
+// nil.
+type Filter struct {
+	mode Mode
+	fn   func(item any) any
+	st   serialState
+}
+
+// NewFilter builds a filter with the given mode and body.
+func NewFilter(mode Mode, fn func(item any) any) *Filter {
+	return &Filter{mode: mode, fn: fn}
+}
+
+// Mode reports the filter's concurrency mode.
+func (f *Filter) Mode() Mode { return f.mode }
+
+// item is an in-flight stream element.
+type item struct {
+	seq uint64
+	idx int // next filter to run
+	val any
+}
+
+// serialState serializes a non-parallel filter and (for in-order mode)
+// enforces sequence order. Items that cannot run park here; the finishing
+// item wakes the next eligible one.
+type serialState struct {
+	mu      sync.Mutex
+	busy    bool
+	next    uint64           // in-order: next sequence to admit
+	pending map[uint64]*item // in-order: parked items by seq
+	queue   []*item          // out-of-order: parked items FIFO
+}
+
+// Pipeline is a tbb::pipeline: a chain of filters executed over a bounded
+// number of in-flight items (tokens).
+type Pipeline struct {
+	filters []*Filter
+}
+
+// NewPipeline builds a pipeline. The first filter must be Serial or
+// SerialInOrder (it is the stream source).
+func NewPipeline(filters ...*Filter) *Pipeline {
+	if len(filters) < 2 {
+		panic("tbb: pipeline needs an input filter and at least one more")
+	}
+	if filters[0].mode == Parallel {
+		panic("tbb: input filter cannot be parallel")
+	}
+	for _, f := range filters {
+		f.st.pending = make(map[uint64]*item)
+	}
+	return &Pipeline{filters: filters}
+}
+
+// Run executes the pipeline on s with at most maxTokens items in flight
+// (tbb::pipeline::run(max_number_of_live_tokens)). It blocks until the
+// input filter ends the stream and all items have drained.
+func (p *Pipeline) Run(s *Scheduler, maxTokens int) {
+	if maxTokens < 1 {
+		panic("tbb: maxTokens must be >= 1")
+	}
+	tokens := make(chan struct{}, maxTokens)
+	for i := 0; i < maxTokens; i++ {
+		tokens <- struct{}{}
+	}
+	g := s.NewGroup()
+	var seq uint64
+	input := p.filters[0]
+	for range tokens {
+		v := input.fn(nil)
+		if v == nil {
+			break
+		}
+		it := &item{seq: seq, idx: 1, val: v}
+		seq++
+		g.Go(func(w *Worker) {
+			p.process(w, g, it, tokens)
+		})
+	}
+	g.Wait()
+}
+
+// process advances an item through the filter chain until it completes or
+// parks at a busy/out-of-turn serial filter.
+func (p *Pipeline) process(w *Worker, g *Group, it *item, tokens chan struct{}) {
+	for it.idx < len(p.filters) {
+		f := p.filters[it.idx]
+		if f.mode == Parallel {
+			it.val = f.fn(it.val)
+			it.idx++
+			continue
+		}
+		st := &f.st
+		st.mu.Lock()
+		if st.busy || (f.mode == SerialInOrder && it.seq != st.next) {
+			// Park; the current occupant (or the preceding sequence) will
+			// reschedule us.
+			if f.mode == SerialInOrder {
+				st.pending[it.seq] = it
+			} else {
+				st.queue = append(st.queue, it)
+			}
+			st.mu.Unlock()
+			return
+		}
+		st.busy = true
+		st.mu.Unlock()
+
+		it.val = f.fn(it.val)
+
+		st.mu.Lock()
+		st.busy = false
+		var wake *item
+		if f.mode == SerialInOrder {
+			st.next++
+			if nxt, ok := st.pending[st.next]; ok {
+				delete(st.pending, st.next)
+				wake = nxt
+			}
+		} else if len(st.queue) > 0 {
+			wake = st.queue[0]
+			st.queue = st.queue[1:]
+		}
+		st.mu.Unlock()
+		if wake != nil {
+			g.SpawnIn(w, func(w *Worker) {
+				p.process(w, g, wake, tokens)
+			})
+		}
+		it.idx++
+	}
+	// Item finished: recycle its token so the injector can admit another.
+	tokens <- struct{}{}
+}

@@ -1,0 +1,176 @@
+// Package workload generates the deterministic synthetic datasets standing
+// in for the paper's three Dedup inputs (§V-B). The real datasets
+// (PARSEC's 185 MB "native" input, an 816 MB Linux kernel source tree, the
+// 202 MB Silesia corpus) are not redistributable here, so each generator
+// reproduces the *statistics* that drive Dedup throughput instead: overall
+// size, duplicate-block ratio, and intra-block compressibility.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Kind selects a dataset shape.
+type Kind int
+
+const (
+	// Large mimics PARSEC's dedup input: archive-like data, moderately
+	// compressible, with a modest amount of duplicated content.
+	Large Kind = iota
+	// Linux mimics a kernel source tree: highly compressible text with
+	// heavy cross-file duplication (licence headers, near-identical
+	// drivers, generated files).
+	Linux
+	// Silesia mimics the Silesia corpus: a mix of text, XML-like
+	// structure, and barely-compressible binary, with little duplication.
+	Silesia
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Large:
+		return "Input Large"
+	case Linux:
+		return "Linux"
+	case Silesia:
+		return "Silesia"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec describes a dataset to generate.
+type Spec struct {
+	Kind Kind
+	Size int
+	Seed int64
+}
+
+// PaperSpecs returns the three datasets at the given scale factor: scale=1
+// reproduces the paper's sizes (185 MB / 816 MB / 202 MB); smaller scales
+// preserve the relative sizes for faster runs.
+func PaperSpecs(scale float64) []Spec {
+	return []Spec{
+		{Kind: Large, Size: int(185e6 * scale), Seed: 1},
+		{Kind: Linux, Size: int(816e6 * scale), Seed: 2},
+		{Kind: Silesia, Size: int(202.13e6 * scale), Seed: 3},
+	}
+}
+
+// Generate produces the dataset deterministically from the spec.
+func Generate(s Spec) []byte {
+	rng := rand.New(rand.NewSource(s.Seed))
+	var out bytes.Buffer
+	out.Grow(s.Size)
+	switch s.Kind {
+	case Large:
+		genLarge(&out, s.Size, rng)
+	case Linux:
+		genLinux(&out, s.Size, rng)
+	case Silesia:
+		genSilesia(&out, s.Size, rng)
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", int(s.Kind)))
+	}
+	return out.Bytes()[:s.Size]
+}
+
+// words is a small vocabulary for text-like content.
+var words = []string{
+	"static", "struct", "return", "const", "void", "unsigned", "kernel",
+	"buffer", "stream", "device", "module", "driver", "config", "index",
+	"length", "offset", "status", "error", "value", "pointer", "lock",
+	"queue", "batch", "block", "data", "size", "init", "free", "alloc",
+}
+
+// textChunk writes n bytes of word-salad text.
+func textChunk(out *bytes.Buffer, n int, rng *rand.Rand) {
+	start := out.Len()
+	for out.Len()-start < n {
+		out.WriteString(words[rng.Intn(len(words))])
+		if rng.Intn(12) == 0 {
+			out.WriteByte('\n')
+		} else {
+			out.WriteByte(' ')
+		}
+	}
+}
+
+// binaryChunk writes n bytes of low-compressibility binary.
+func binaryChunk(out *bytes.Buffer, n int, rng *rand.Rand) {
+	b := make([]byte, n)
+	rng.Read(b)
+	out.Write(b)
+}
+
+// genLarge: archive-like stream of medium "files", ~25% of which are exact
+// repeats of earlier files, content mixing text and binary.
+func genLarge(out *bytes.Buffer, size int, rng *rand.Rand) {
+	var files [][]byte
+	for out.Len() < size {
+		if len(files) > 4 && rng.Intn(4) == 0 {
+			out.Write(files[rng.Intn(len(files))]) // duplicate a whole file
+			continue
+		}
+		var f bytes.Buffer
+		n := rng.Intn(48*1024) + 16*1024
+		if rng.Intn(2) == 0 {
+			textChunk(&f, n, rng)
+		} else {
+			binaryChunk(&f, n/2, rng)
+			textChunk(&f, n/2, rng)
+		}
+		files = append(files, f.Bytes())
+		out.Write(f.Bytes())
+		if len(files) > 64 {
+			files = files[1:]
+		}
+	}
+}
+
+// genLinux: source-tree-like, built from a pool of "source file" templates;
+// files share a licence header and many files are near-duplicates, giving
+// the high dedup ratio of a kernel tree.
+func genLinux(out *bytes.Buffer, size int, rng *rand.Rand) {
+	var header bytes.Buffer
+	textChunk(&header, 1024, rng) // the shared licence header
+	var templates [][]byte
+	for i := 0; i < 24; i++ {
+		var tpl bytes.Buffer
+		textChunk(&tpl, 24*1024, rng)
+		templates = append(templates, tpl.Bytes())
+	}
+	for out.Len() < size {
+		out.Write(header.Bytes())
+		tpl := templates[rng.Intn(len(templates))]
+		if rng.Intn(3) == 0 {
+			// Exact reuse (duplicate file).
+			out.Write(tpl)
+			continue
+		}
+		// Near-duplicate: the template with a small local edit.
+		edit := rng.Intn(len(tpl) - 128)
+		out.Write(tpl[:edit])
+		textChunk(out, 64, rng)
+		out.Write(tpl[edit:])
+	}
+}
+
+// genSilesia: thirds of text, XML-ish structure, and binary; almost no
+// duplication.
+func genSilesia(out *bytes.Buffer, size int, rng *rand.Rand) {
+	for out.Len() < size {
+		switch rng.Intn(3) {
+		case 0:
+			textChunk(out, 32*1024, rng)
+		case 1:
+			for i := 0; i < 200; i++ {
+				fmt.Fprintf(out, "<record id=\"%d\"><field>%s</field></record>\n",
+					rng.Intn(1_000_000), words[rng.Intn(len(words))])
+			}
+		default:
+			binaryChunk(out, 32*1024, rng)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"streamgpu/internal/rabin"
+	"streamgpu/internal/sha1x"
+)
+
+// dupRatio measures the fraction of content-defined blocks whose hash was
+// already seen — the statistic that differentiates the three datasets.
+func dupRatio(data []byte) float64 {
+	seen := make(map[[sha1x.Size]byte]bool)
+	blocks := rabin.NewChunker().Split(data)
+	dups := 0
+	for _, b := range blocks {
+		h := sha1x.Sum20(b)
+		if seen[h] {
+			dups++
+		}
+		seen[h] = true
+	}
+	if len(blocks) == 0 {
+		return 0
+	}
+	return float64(dups) / float64(len(blocks))
+}
+
+func TestGenerateExactSize(t *testing.T) {
+	for _, k := range []Kind{Large, Linux, Silesia} {
+		for _, size := range []int{1, 1000, 1 << 20} {
+			data := Generate(Spec{Kind: k, Size: size, Seed: 1})
+			if len(data) != size {
+				t.Errorf("%v size %d: got %d bytes", k, size, len(data))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range []Kind{Large, Linux, Silesia} {
+		a := Generate(Spec{Kind: k, Size: 1 << 20, Seed: 5})
+		b := Generate(Spec{Kind: k, Size: 1 << 20, Seed: 5})
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: generation not deterministic", k)
+		}
+		c := Generate(Spec{Kind: k, Size: 1 << 20, Seed: 6})
+		if bytes.Equal(a, c) {
+			t.Errorf("%v: different seeds produced identical data", k)
+		}
+	}
+}
+
+func TestDatasetCharacteristics(t *testing.T) {
+	// The three datasets must differ in the statistics that drive Fig. 5:
+	// Linux has the highest duplicate ratio, Silesia the lowest.
+	const size = 4 << 20
+	dup := func(k Kind) float64 {
+		data := Generate(Spec{Kind: k, Size: size, Seed: 9})
+		return dupRatio(data)
+	}
+	large, linux, silesia := dup(Large), dup(Linux), dup(Silesia)
+	t.Logf("dup ratios: large=%.3f linux=%.3f silesia=%.3f", large, linux, silesia)
+	if linux <= large {
+		t.Errorf("Linux dup ratio (%.3f) should exceed Large (%.3f)", linux, large)
+	}
+	if large <= silesia {
+		t.Errorf("Large dup ratio (%.3f) should exceed Silesia (%.3f)", large, silesia)
+	}
+	if linux < 0.3 {
+		t.Errorf("Linux dup ratio %.3f too low for a source-tree analogue", linux)
+	}
+	if silesia > 0.1 {
+		t.Errorf("Silesia dup ratio %.3f too high for a corpus analogue", silesia)
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	specs := PaperSpecs(1.0)
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].Size != 185_000_000 || specs[1].Size != 816_000_000 {
+		t.Errorf("paper sizes wrong: %d, %d", specs[0].Size, specs[1].Size)
+	}
+	small := PaperSpecs(0.01)
+	if small[1].Size != 8_160_000 {
+		t.Errorf("scaled size = %d", small[1].Size)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Large.String() != "Input Large" || Linux.String() != "Linux" || Silesia.String() != "Silesia" {
+		t.Error("kind names wrong")
+	}
+}
