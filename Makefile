@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector matters most for the real goroutine runtimes (ff, the
+# SPar DSL, and the dedup pipeline built on them); the des-based packages
+# are single-threaded by construction.
+race:
+	$(GO) test -race ./internal/ff ./internal/core ./internal/dedup
+
+# verify mirrors .github/workflows/ci.yml exactly.
+verify: build vet test race

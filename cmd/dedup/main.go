@@ -4,10 +4,16 @@
 //	dedup -c -workers 8 input.dat archive.sgdd   # compress
 //	dedup -d archive.sgdd output.dat             # restore
 //	dedup -graph                                 # print the SPar activity graph
+//	dedup -c -gpu input.dat archive.sgdd         # compress on the simulated GPU
+//
+// The -gpu path runs SHA-1 and LZSS match-finding as simulated device
+// kernels with retry and CPU degradation; the -fault-* knobs drive its
+// seeded fault injector.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +22,7 @@ import (
 
 	"streamgpu/internal/core"
 	"streamgpu/internal/dedup"
+	"streamgpu/internal/fault"
 )
 
 func main() {
@@ -25,6 +32,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "replicas of the hash+compress stage")
 	batch := flag.Int("batch", dedup.DefaultBatchSize, "fragmentation batch size in bytes")
 	seq := flag.Bool("seq", false, "use the sequential reference implementation")
+	gpuRT := flag.Bool("gpu", false, "compress on the simulated GPU (hash + match kernels)")
+	timeout := flag.Duration("timeout", 0, "cancel a parallel compress after this long (0 = no limit)")
+	faultSeed := flag.Int64("fault-seed", 0, "gpu: fault injector seed")
+	faultTransfer := flag.Float64("fault-transfer", 0, "gpu: transient transfer fault rate")
+	faultKernel := flag.Float64("fault-kernel", 0, "gpu: transient kernel fault rate")
+	faultKill := flag.Int("fault-kill-after", 0, "gpu: kill the device after N operations")
 	flag.Parse()
 
 	if *graph {
@@ -54,9 +67,25 @@ func main() {
 	if *compress {
 		var st dedup.Stats
 		opt := dedup.Options{BatchSize: *batch, Workers: *workers}
-		if *seq {
+		switch {
+		case *seq:
 			st, err = dedup.CompressSeq(in, outF, opt)
-		} else {
+		case *gpuRT:
+			gopt := dedup.GPUOptions{Options: opt, Faults: fault.Config{
+				Seed:         *faultSeed,
+				TransferRate: *faultTransfer,
+				KernelRate:   *faultKernel,
+				KillAfterOps: *faultKill,
+			}}
+			var rep dedup.GPUReport
+			st, rep, err = dedup.CompressGPU(in, outF, gopt)
+			if err == nil && (rep.Retries > 0 || rep.CPUHash > 0 || rep.CPUCompress > 0 || rep.DeviceLost) {
+				fmt.Printf("recovery: %d retries, %d/%d batches hashed/compressed on cpu, device lost: %v\n",
+					rep.Retries, rep.CPUHash, rep.CPUCompress, rep.DeviceLost)
+			}
+		case *timeout > 0:
+			st, err = compressWithTimeout(in, outF, opt, *timeout)
+		default:
 			st, err = dedup.CompressSPar(in, outF, opt)
 		}
 		check(err)
@@ -73,6 +102,14 @@ func main() {
 		check(dedup.RestoreParallel(bytes.NewReader(in), outF, *workers))
 	}
 	fmt.Printf("restored %s in %v\n", args[1], time.Since(start))
+}
+
+// compressWithTimeout runs the SPar pipeline under a deadline; expiry
+// cancels the stream and surfaces as an error.
+func compressWithTimeout(in []byte, outF *os.File, opt dedup.Options, d time.Duration) (dedup.Stats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return dedup.CompressSParContext(ctx, in, outF, opt)
 }
 
 func check(err error) {

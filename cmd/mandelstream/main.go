@@ -4,17 +4,21 @@
 //
 //	mandelstream -dim 1000 -niter 2000 -runtime spar -workers 8 -o out.pgm
 //
-// Runtimes: seq, spar (the SPar DSL), ff (FastFlow-style), tbb (TBB-style).
+// Runtimes: seq, spar (the SPar DSL), ff (FastFlow-style), tbb (TBB-style),
+// gpu (the simulated fault-tolerant GPU runner; see -gpus and the -fault-*
+// injector knobs).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"streamgpu/internal/fault"
 	"streamgpu/internal/mandel"
 	"streamgpu/internal/tbb"
 )
@@ -22,9 +26,16 @@ import (
 func main() {
 	dim := flag.Int("dim", 1000, "image dimension (dim×dim)")
 	niter := flag.Int("niter", 2000, "maximum escape iterations")
-	rt := flag.String("runtime", "spar", "runtime: seq, spar, ff, tbb")
+	rt := flag.String("runtime", "spar", "runtime: seq, spar, ff, tbb, gpu")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute-stage replicas")
 	tokens := flag.Int("tokens", 0, "TBB max live tokens (default 2×workers)")
+	timeout := flag.Duration("timeout", 0, "cancel the spar run after this long (0 = no limit)")
+	gpus := flag.Int("gpus", 1, "gpu runtime: number of simulated devices")
+	gpuBatch := flag.Int("gpu-batch", 32, "gpu runtime: rows per kernel launch")
+	faultSeed := flag.Int64("fault-seed", 0, "gpu runtime: fault injector seed")
+	faultTransfer := flag.Float64("fault-transfer", 0, "gpu runtime: transient transfer fault rate on device 0")
+	faultKernel := flag.Float64("fault-kernel", 0, "gpu runtime: transient kernel fault rate on device 0")
+	faultKill := flag.Int("fault-kill-after", 0, "gpu runtime: kill device 0 after N operations")
 	out := flag.String("o", "", "write the image as PGM to this file")
 	flag.Parse()
 
@@ -40,13 +51,29 @@ func main() {
 	case "seq":
 		im, _ = mandel.RunSeq(p)
 	case "spar":
-		im, err = mandel.RunSPar(p, *workers)
+		im, err = runSPar(p, *workers, *timeout)
 	case "ff":
 		im, err = mandel.RunFF(p, *workers)
 	case "tbb":
 		s := tbb.NewScheduler(*workers)
 		defer s.Shutdown()
 		im = mandel.RunTBB(p, s, *tokens)
+	case "gpu":
+		cfg := mandel.FTConfig{NGPUs: *gpus, BatchSize: *gpuBatch}
+		if *faultTransfer > 0 || *faultKernel > 0 || *faultKill > 0 {
+			cfg.Faults = []fault.Config{{
+				Seed:         *faultSeed,
+				TransferRate: *faultTransfer,
+				KernelRate:   *faultKernel,
+				KillAfterOps: *faultKill,
+			}}
+		}
+		var rep mandel.FTReport
+		im, rep, err = mandel.RunGPUFT(p, cfg)
+		if err == nil && rep != (mandel.FTReport{}) {
+			fmt.Printf("recovery: %d retries, %d failovers, %d cpu batches, %d devices lost\n",
+				rep.Retries, rep.FailedOver, rep.CPUBatches, rep.DevicesLost)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mandelstream: unknown runtime %q\n", *rt)
 		os.Exit(2)
@@ -67,6 +94,16 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// runSPar runs the SPar pipeline, optionally under a timeout.
+func runSPar(p mandel.Params, workers int, timeout time.Duration) (*mandel.Image, error) {
+	if timeout <= 0 {
+		return mandel.RunSPar(p, workers)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return mandel.RunSParContext(ctx, p, workers)
 }
 
 // writePGM saves the frame as a binary PGM (P5).

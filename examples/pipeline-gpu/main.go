@@ -38,7 +38,10 @@ func main() {
 
 	sim := des.New()
 	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
-	rt := cuda.NewRuntime(sim, dev)
+	rt, err := cuda.NewRuntime(sim, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	results := make([]*gpu.HostBuf, items)
 

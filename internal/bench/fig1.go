@@ -43,10 +43,16 @@ type apiCtx struct {
 
 func newAPICtx(api API, sim *des.Sim, devs []*gpu.Device) *apiCtx {
 	a := &apiCtx{api: api, devs: devs}
+	// The bench harness always passes at least one device, so a no-devices
+	// error here is a programming bug, not a runtime condition.
+	var err error
 	if api == CUDA {
-		a.rt = cuda.NewRuntime(sim, devs...)
+		a.rt, err = cuda.NewRuntime(sim, devs...)
 	} else {
-		a.ctx = opencl.CreateContext(sim, devs...)
+		a.ctx, err = opencl.CreateContext(sim, devs...)
+	}
+	if err != nil {
+		panic(err)
 	}
 	return a
 }

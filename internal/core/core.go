@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,6 +29,12 @@ import (
 
 // StageFunc is a stage body: consume one stream item, emit zero or more.
 type StageFunc func(item any, emit func(any))
+
+// StageFuncErr is a stage body that can fail: a non-nil return cancels the
+// stream, drains the remaining stages, and surfaces from Run. Use it for
+// stages doing I/O or device work, where errors are expected rather than
+// exceptional.
+type StageFuncErr func(item any, emit func(any)) error
 
 // Worker is a stateful stage replica. Each replica gets its own Worker
 // instance (created by the stage's factory), so per-replica state — GPU
@@ -62,6 +69,9 @@ type StageDef struct {
 	Outputs   []string
 	Offload   bool
 	make      func() Worker
+	// makeNode, when set, overrides make with a direct ff.Node factory
+	// (used by StageErr, whose bodies return errors through the runtime).
+	makeNode func() ff.Node
 }
 
 // Option configures a ToStream region or a Stage (the auxiliary
@@ -148,6 +158,16 @@ func (t *ToStream) Stage(fn StageFunc, opts ...Option) *ToStream {
 // StageWorkers appends a stage whose replicas are created by factory —
 // one Worker per replica, each with its own Init/End lifecycle.
 func (t *ToStream) StageWorkers(factory func() Worker, opts ...Option) *ToStream {
+	return t.addStage(factory, nil, opts)
+}
+
+// StageErr appends a stage with a fallible body: when fn returns a non-nil
+// error the stream is canceled and the error surfaces from Run.
+func (t *ToStream) StageErr(fn StageFuncErr, opts ...Option) *ToStream {
+	return t.addStage(nil, func() ff.Node { return &errStageNode{fn: fn} }, opts)
+}
+
+func (t *ToStream) addStage(factory func() Worker, makeNode func() ff.Node, opts []Option) *ToStream {
 	var o options
 	o.replicate = 1
 	for _, op := range opts {
@@ -166,6 +186,7 @@ func (t *ToStream) StageWorkers(factory func() Worker, opts ...Option) *ToStream
 		Outputs:   o.outputs,
 		Offload:   o.offload,
 		make:      factory,
+		makeNode:  makeNode,
 	})
 	return t
 }
@@ -260,14 +281,48 @@ func (n *workerNode) Svc(task any) any {
 	return ff.GoOn
 }
 
+// errStageNode adapts a StageFuncErr to an ff.Node: a non-nil error return
+// value is handed to the runtime, which records it and cancels the stream.
+type errStageNode struct {
+	ff.NodeBase
+	fn StageFuncErr
+}
+
+func (n *errStageNode) Svc(task any) any {
+	if err := n.fn(task, n.SendOut); err != nil {
+		return err
+	}
+	return ff.GoOn
+}
+
+// stopEmit unwinds the source generator when the stream has been canceled;
+// sourceNode.Svc recovers it and ends the stream cleanly.
+type stopEmit struct{}
+
 // sourceNode drives the region's generator function.
 type sourceNode struct {
 	ff.NodeBase
 	gen func(emit func(any))
+	// stopped reports stream cancellation; wired to Pipeline.Canceled by
+	// RunContext so a canceled run doesn't generate the rest of the stream.
+	stopped func() bool
 }
 
-func (n *sourceNode) Svc(any) any {
-	n.gen(n.SendOut)
+func (n *sourceNode) Svc(any) (out any) {
+	out = ff.EOS
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopEmit); !ok {
+				panic(r)
+			}
+		}
+	}()
+	n.gen(func(v any) {
+		if n.stopped != nil && n.stopped() {
+			panic(stopEmit{})
+		}
+		n.SendOut(v)
+	})
 	return ff.EOS
 }
 
@@ -276,19 +331,33 @@ func (n *sourceNode) Svc(any) any {
 // source is the ToStream loop body: it emits every stream item, then
 // returns.
 func (t *ToStream) Run(source func(emit func(any))) error {
+	return t.RunContext(context.Background(), source)
+}
+
+// RunContext is Run under a context: when ctx is canceled or times out the
+// stream is aborted (the source stops emitting, downstream stages drain)
+// and the context error is returned. Stage panics and StageErr errors are
+// likewise recovered into the returned error instead of crashing the
+// process.
+func (t *ToStream) RunContext(ctx context.Context, source func(emit func(any))) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
+	src := &sourceNode{gen: source}
 	stages := make([]any, 0, len(t.stages)+1)
-	stages = append(stages, &sourceNode{gen: source})
+	stages = append(stages, src)
 	for _, s := range t.stages {
+		mk := func() ff.Node { return &workerNode{w: s.make()} }
+		if s.makeNode != nil {
+			mk = s.makeNode
+		}
 		if s.Replicate == 1 {
-			stages = append(stages, &workerNode{w: s.make()})
+			stages = append(stages, mk())
 			continue
 		}
 		workers := make([]ff.Node, s.Replicate)
 		for i := range workers {
-			workers[i] = &workerNode{w: s.make()}
+			workers[i] = mk()
 		}
 		var fopts []ff.FarmOpt
 		if t.ordered {
@@ -303,5 +372,6 @@ func (t *ToStream) Run(source func(emit func(any))) error {
 	if t.queueCap > 0 {
 		pipe.SetQueueCap(t.queueCap)
 	}
-	return pipe.Run()
+	src.stopped = pipe.Canceled
+	return pipe.RunContext(ctx)
 }

@@ -1,0 +1,237 @@
+package dedup
+
+import (
+	"io"
+	"time"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/gpu"
+	"streamgpu/internal/lzss"
+	"streamgpu/internal/sha1x"
+)
+
+// GPUOptions configures CompressGPU.
+type GPUOptions struct {
+	Options
+	// MaxRetries bounds transient-fault retries per stage per batch before
+	// the stage degrades to its CPU path.
+	MaxRetries int
+	// Faults is the device's injector config; the zero value runs fault-free.
+	Faults fault.Config
+}
+
+func (o GPUOptions) maxRetries() int {
+	if o.MaxRetries <= 0 {
+		return 3
+	}
+	return o.MaxRetries
+}
+
+// GPUReport describes where each stage of each batch actually ran and what
+// the recovery machinery absorbed.
+type GPUReport struct {
+	Retries     int // transient faults absorbed by retry
+	GPUHash     int // batches hashed on the device
+	GPUCompress int // batches match-scanned on the device
+	CPUHash     int // batches whose hashing degraded to the CPU
+	CPUCompress int // batches whose compression degraded to the CPU
+	DeviceLost  bool
+}
+
+// CompressGPU is the offloaded Dedup pipeline (§IV-B) under the
+// fault-tolerance layer: SHA-1 hashing and LZSS match-finding run as device
+// kernels, transient faults are retried with exponential backoff in virtual
+// time, and a dead device (or an exhausted retry budget) degrades the
+// affected stage to the CPU path. The archive is byte-identical to
+// CompressSeq's regardless of the injected fault schedule, because both
+// kernels are bit-exact against their CPU references and the Writer makes
+// the authoritative stream-order dedup decision either way.
+func CompressGPU(input []byte, w io.Writer, opt GPUOptions) (Stats, GPUReport, error) {
+	dw := NewWriter(w)
+	store := NewStore()
+	var rep GPUReport
+
+	var batches []*Batch
+	Fragment(input, opt.batchSize(), func(b *Batch) { batches = append(batches, b) })
+
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	if opt.Faults != (fault.Config{}) {
+		dev.SetFaultInjector(fault.New(opt.Faults))
+	}
+	var writeErr error
+	sim.Spawn("dedup-gpu", func(proc *des.Proc) {
+		st := dev.NewStream("")
+		for _, b := range batches {
+			gpuHashBatch(proc, st, dev, b, opt, &rep)
+			gpuCompressBatch(proc, st, dev, b, store, opt, &rep)
+			if err := writeBatch(b, dw); err != nil {
+				writeErr = err
+				return
+			}
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		return dw.Stats(), rep, err
+	}
+	rep.DeviceLost = dev.Lost()
+	if writeErr != nil {
+		return dw.Stats(), rep, writeErr
+	}
+	st := dw.Stats()
+	if err := dw.Close(); err != nil {
+		return st, rep, err
+	}
+	return dw.Stats(), rep, nil
+}
+
+// gpuHashBatch fills b.Hashes, preferring the device SHA-1 kernel and
+// degrading to the CPU path on device loss or an exhausted retry budget.
+func gpuHashBatch(proc *des.Proc, st *gpu.Stream, dev *gpu.Device, b *Batch, opt GPUOptions, rep *GPUReport) {
+	n := b.NBlocks()
+	if n == 0 {
+		b.Hashes = nil
+		return
+	}
+	cpu := func() {
+		b.HashBlocks()
+		rep.CPUHash++
+	}
+	dIn, dSp, dOut, freeAll, err := mallocN(dev, int64(len(b.Data)), int64(n*4), int64(n*sha1x.Size))
+	if err != nil {
+		cpu()
+		return
+	}
+	defer freeAll()
+	hIn := gpu.WrapHost(b.Data)
+	hSp := gpu.NewPinnedBuf(int64(n * 4))
+	sha1x.PutStartPos(hSp.Data, b.StartPos)
+	hOut := gpu.NewPinnedBuf(int64(n * sha1x.Size))
+
+	run := func() error {
+		ev1 := st.CopyH2D(proc, dIn, 0, hIn, 0, int64(len(b.Data)))
+		ev2 := st.CopyH2D(proc, dSp, 0, hSp, 0, int64(n*4))
+		evK := st.Launch(proc, sha1x.Kernel.Bind(dIn, dSp, n, len(b.Data), dOut), gpu.Grid1D(n, 64))
+		evC := st.CopyD2H(proc, hOut, 0, dOut, 0, int64(n*sha1x.Size))
+		return gpu.WaitErr(proc, ev1, ev2, evK, evC)
+	}
+	if err := withRetry(proc, opt.maxRetries(), rep, run); err != nil {
+		cpu()
+		return
+	}
+	b.Hashes = make([][sha1x.Size]byte, n)
+	for k := 0; k < n; k++ {
+		copy(b.Hashes[k][:], hOut.Data[k*sha1x.Size:])
+	}
+	rep.GPUHash++
+}
+
+// gpuCompressBatch fills b.Comp for the blocks this run sees first,
+// preferring the device match kernel and degrading to the CPU path on
+// device loss or an exhausted retry budget.
+func gpuCompressBatch(proc *des.Proc, st *gpu.Stream, dev *gpu.Device, b *Batch, store *Store, opt GPUOptions, rep *GPUReport) {
+	n := b.NBlocks()
+	b.Comp = make([][]byte, n)
+	var firsts []int
+	for k := 0; k < n; k++ {
+		if store.FirstSighting(b.Hashes[k]) {
+			firsts = append(firsts, k)
+		}
+	}
+	if len(firsts) == 0 {
+		return
+	}
+	cpu := func() {
+		for _, k := range firsts {
+			lo, hi := b.Block(k)
+			b.Comp[k] = lzss.Compress(b.Data[lo:hi])
+		}
+		rep.CPUCompress++
+	}
+	sz := int64(len(b.Data))
+	dIn, dSp, dMl, dMo, freeAll, err := malloc4(dev, sz, int64(n*4), sz*4, sz*4)
+	if err != nil {
+		cpu()
+		return
+	}
+	defer freeAll()
+	hIn := gpu.WrapHost(b.Data)
+	hSp := gpu.NewPinnedBuf(int64(n * 4))
+	sha1x.PutStartPos(hSp.Data, b.StartPos)
+	hMl := gpu.NewPinnedBuf(sz * 4)
+	hMo := gpu.NewPinnedBuf(sz * 4)
+	pre := lzss.Precompute(b.Data, b.StartPos)
+	spec := lzss.FastKernel()
+
+	run := func() error {
+		ev1 := st.CopyH2D(proc, dIn, 0, hIn, 0, sz)
+		ev2 := st.CopyH2D(proc, dSp, 0, hSp, 0, int64(n*4))
+		evK := st.Launch(proc, spec.Bind(dIn, len(b.Data), dSp, n, dMl, dMo, pre), gpu.Grid1D(len(b.Data), 128))
+		evL := st.CopyD2H(proc, hMl, 0, dMl, 0, sz*4)
+		evO := st.CopyD2H(proc, hMo, 0, dMo, 0, sz*4)
+		return gpu.WaitErr(proc, ev1, ev2, evK, evL, evO)
+	}
+	if err := withRetry(proc, opt.maxRetries(), rep, run); err != nil {
+		cpu()
+		return
+	}
+	ml, mo := lzss.ReadMatches(hMl.Data, hMo.Data, len(b.Data))
+	for _, k := range firsts {
+		lo, hi := b.Block(k)
+		b.Comp[k] = lzss.EncodeFromMatches(b.Data, lo, hi, ml, mo)
+	}
+	rep.GPUCompress++
+}
+
+// withRetry runs fn, retrying transient faults with exponential backoff in
+// virtual time up to maxRetries. Device loss is returned immediately.
+func withRetry(proc *des.Proc, maxRetries int, rep *GPUReport, fn func() error) error {
+	backoff := des.Duration(50 * time.Microsecond)
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if fault.IsDeviceLost(err) || attempt >= maxRetries {
+			return err
+		}
+		rep.Retries++
+		proc.Wait(backoff)
+		backoff *= 2
+	}
+}
+
+// mallocN allocates three device buffers or none, returning a single
+// release function.
+func mallocN(dev *gpu.Device, n1, n2, n3 int64) (b1, b2, b3 *gpu.Buf, free func(), err error) {
+	bufs := make([]*gpu.Buf, 0, 3)
+	free = func() {
+		for _, b := range bufs {
+			b.Free()
+		}
+	}
+	for _, n := range []int64{n1, n2, n3} {
+		b, err := dev.Malloc(n)
+		if err != nil {
+			free()
+			return nil, nil, nil, nil, err
+		}
+		bufs = append(bufs, b)
+	}
+	return bufs[0], bufs[1], bufs[2], free, nil
+}
+
+// malloc4 is mallocN for four buffers.
+func malloc4(dev *gpu.Device, n1, n2, n3, n4 int64) (b1, b2, b3, b4 *gpu.Buf, free func(), err error) {
+	a, b, c, freeABC, err := mallocN(dev, n1, n2, n3)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	d, err := dev.Malloc(n4)
+	if err != nil {
+		freeABC()
+		return nil, nil, nil, nil, nil, err
+	}
+	return a, b, c, d, func() { freeABC(); d.Free() }, nil
+}

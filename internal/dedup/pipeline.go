@@ -1,6 +1,7 @@
 package dedup
 
 import (
+	"context"
 	"io"
 
 	"streamgpu/internal/core"
@@ -90,9 +91,15 @@ func writeBatch(b *Batch, dw *Writer) error {
 // three stages — fragmentation (source), replicated hash/dedup/compress,
 // and ordered reorder+write — the structure of Griebler et al. [22].
 func CompressSPar(input []byte, w io.Writer, opt Options) (Stats, error) {
+	return CompressSParContext(context.Background(), input, w, opt)
+}
+
+// CompressSParContext is CompressSPar under a context: cancellation or
+// timeout aborts the stream mid-run (the archive is then truncated and the
+// context error is returned).
+func CompressSParContext(ctx context.Context, input []byte, w io.Writer, opt Options) (Stats, error) {
 	dw := NewWriter(w)
 	store := NewStore()
-	var writeErr error
 
 	ts := core.NewToStream(core.Ordered(), core.Input("input", "batchSize")).
 		Stage(func(item any, emit func(any)) {
@@ -101,19 +108,15 @@ func CompressSPar(input []byte, w io.Writer, opt Options) (Stats, error) {
 			emit(b)
 		}, core.Replicate(opt.workers()), core.Name("hash+compress"),
 			core.Input("input", "batchSize"), core.Output("batch")).
-		Stage(func(item any, emit func(any)) {
-			if writeErr != nil {
-				return
-			}
-			writeErr = writeBatch(item.(*Batch), dw)
+		StageErr(func(item any, emit func(any)) error {
+			// A write failure flows through the runtime's error channel:
+			// the stream is canceled and the error returns from Run.
+			return writeBatch(item.(*Batch), dw)
 		}, core.Name("reorder+write"), core.Input("batch"))
 
-	err := ts.Run(func(emit func(any)) {
+	err := ts.RunContext(ctx, func(emit func(any)) {
 		Fragment(input, opt.batchSize(), func(b *Batch) { emit(b) })
 	})
-	if err == nil {
-		err = writeErr
-	}
 	if err == nil {
 		err = dw.Close()
 	}

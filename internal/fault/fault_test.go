@@ -1,0 +1,90 @@
+package fault
+
+import "testing"
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 10_000; i++ {
+		if c := in.Check(Transfer); c != None {
+			t.Fatalf("op %d: Check = %v, want None", i, c)
+		}
+	}
+	if s := in.Stats(); s.Transient != 0 || s.DeviceLost {
+		t.Fatalf("stats = %+v, want no injections", s)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, TransferRate: 0.05, KernelRate: 0.03, DeviceLossRate: 0.001}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 5_000; i++ {
+		op := Transfer
+		if i%3 == 0 {
+			op = Kernel
+		}
+		ca, cb := a.Check(op), b.Check(op)
+		if ca != cb {
+			t.Fatalf("op %d: schedules diverge: %v vs %v", i, ca, cb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := Config{TransferRate: 0.1}
+	a := New(Config{Seed: 1, TransferRate: cfg.TransferRate})
+	b := New(Config{Seed: 2, TransferRate: cfg.TransferRate})
+	same := true
+	for i := 0; i < 2_000; i++ {
+		if a.Check(Transfer) != b.Check(Transfer) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced identical 2000-op schedules")
+	}
+}
+
+func TestTransientRateRoughlyHolds(t *testing.T) {
+	in := New(Config{Seed: 7, TransferRate: 0.1})
+	n := 20_000
+	for i := 0; i < n; i++ {
+		in.Check(Transfer)
+	}
+	got := in.Stats().Transient
+	if got < n/20 || got > n/5 {
+		t.Fatalf("injected %d/%d transient faults, want ~10%%", got, n)
+	}
+}
+
+func TestKillAfterOps(t *testing.T) {
+	in := New(Config{Seed: 9, KillAfterOps: 5})
+	for i := 1; i <= 4; i++ {
+		if c := in.Check(Kernel); c == DeviceLost {
+			t.Fatalf("op %d: device lost before KillAfterOps", i)
+		}
+	}
+	if c := in.Check(Kernel); c != DeviceLost {
+		t.Fatalf("op 5: Check = %v, want DeviceLost", c)
+	}
+	if !in.Lost() {
+		t.Fatal("Lost() = false after kill")
+	}
+	// Everything after the kill fails too.
+	for i := 0; i < 10; i++ {
+		if c := in.Check(Transfer); c != DeviceLost {
+			t.Fatalf("post-kill Check = %v, want DeviceLost", c)
+		}
+	}
+}
+
+func TestErrorClassifiers(t *testing.T) {
+	if !IsTransient(ErrTransient) || IsTransient(ErrDeviceLost) {
+		t.Fatal("IsTransient misclassifies")
+	}
+	if !IsDeviceLost(ErrDeviceLost) || IsDeviceLost(ErrTransient) {
+		t.Fatal("IsDeviceLost misclassifies")
+	}
+}

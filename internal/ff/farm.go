@@ -110,6 +110,9 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 	var seq uint64
 	next := 0
 	schedule := func(v any) {
+		if pl.Canceled() {
+			return
+		}
 		if f.ordered {
 			v = seqIn{seq: seq, val: v}
 			seq++
@@ -137,19 +140,16 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 		if on, ok := em.(OutNode); ok {
 			on.setOut(schedule)
 		}
-		if init, ok := em.(Initializer); ok {
-			if err := init.Init(); err != nil {
-				pl.reportErr(fmt.Errorf("ff: emitter init: %w", err))
-				em = nil // degrade to forwarding, then EOS below
-			}
+		if !initSafe(pl, em, "emitter") {
+			em = nil // degrade to forwarding, then EOS below
 		}
 	}
 	switch {
 	case in == nil:
 		// Farm as source: the emitter generates the stream.
-		for em != nil {
-			r := em.Svc(nil)
-			if r == EOS {
+		for em != nil && !pl.Canceled() {
+			r, ok := svcSafe(pl, em, nil, "emitter")
+			if !ok || r == EOS {
 				break
 			}
 			if r != GoOn {
@@ -163,6 +163,10 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 			if t == EOS {
 				break
 			}
+			if pl.Canceled() {
+				drain(in)
+				break
+			}
 			schedule(t)
 		}
 	default:
@@ -171,8 +175,12 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 			if t == EOS {
 				break
 			}
-			r := em.Svc(t)
-			if r == EOS {
+			if pl.Canceled() {
+				drain(in)
+				break
+			}
+			r, ok := svcSafe(pl, em, t, "emitter")
+			if !ok || r == EOS {
 				drain(in)
 				break
 			}
@@ -182,9 +190,7 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 		}
 	}
 	if em != nil {
-		if fin, ok := em.(Finalizer); ok {
-			fin.End()
-		}
+		endSafe(pl, em, "emitter")
 	}
 	for _, wq := range wqs {
 		wq.Push(EOS)
@@ -194,6 +200,7 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 // runWorker executes one replica's service loop.
 func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 	w := f.workers[i]
+	where := fmt.Sprintf("worker %d", i)
 	// Multi-output plumbing: unordered workers push straight to their
 	// collector queue; ordered workers accumulate into the per-input
 	// output list so sequencing survives SendOut and GoOn.
@@ -207,36 +214,37 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 			cq.Push(v)
 		})
 	}
-	if init, ok := w.(Initializer); ok {
-		if err := init.Init(); err != nil {
-			pl.reportErr(fmt.Errorf("ff: worker %d init: %w", i, err))
-			drain(wq)
-			cq.Push(EOS)
-			return
-		}
+	if !initSafe(pl, w, where) {
+		drain(wq)
+		cq.Push(EOS)
+		return
 	}
 	for {
 		t := wq.Pop()
 		if t == EOS {
 			break
 		}
+		if pl.Canceled() {
+			drain(wq)
+			break
+		}
 		if f.ordered {
 			si := t.(seqIn)
 			pending = &seqOut{seq: si.seq}
-			r := w.Svc(si.val)
-			if r != GoOn && r != EOS {
+			r, ok := svcSafe(pl, w, si.val, where)
+			if r != GoOn && r != EOS && ok {
 				pending.vals = append(pending.vals, r)
 			}
 			cq.Push(*pending)
 			pending = nil
-			if r == EOS {
+			if !ok || r == EOS {
 				drain(wq)
 				break
 			}
 			continue
 		}
-		r := w.Svc(t)
-		if r == EOS {
+		r, ok := svcSafe(pl, w, t, where)
+		if !ok || r == EOS {
 			drain(wq)
 			break
 		}
@@ -244,9 +252,7 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 			cq.Push(r)
 		}
 	}
-	if fin, ok := w.(Finalizer); ok {
-		fin.End()
-	}
+	endSafe(pl, w, where)
 	cq.Push(EOS)
 }
 
@@ -256,7 +262,7 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
 	col := f.collector
 	send := func(v any) {
-		if out != nil {
+		if out != nil && !pl.Canceled() {
 			out.Push(v)
 		}
 	}
@@ -264,16 +270,20 @@ func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
 		if on, ok := col.(OutNode); ok {
 			on.setOut(send)
 		}
-		if init, ok := col.(Initializer); ok {
-			if err := init.Init(); err != nil {
-				pl.reportErr(fmt.Errorf("ff: collector init: %w", err))
-				col = nil
-			}
+		if !initSafe(pl, col, "collector") {
+			col = nil
 		}
 	}
 	handle := func(v any) {
+		if pl.Canceled() {
+			return
+		}
 		if col != nil {
-			r := col.Svc(v)
+			r, ok := svcSafe(pl, col, v, "collector")
+			if !ok {
+				col = nil // stream is canceled; keep draining without it
+				return
+			}
 			if r != GoOn && r != EOS {
 				send(r)
 			}
@@ -332,14 +342,12 @@ func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
 	}
 	if f.ordered {
 		flush()
-		if len(buffered) > 0 {
+		if len(buffered) > 0 && !pl.Canceled() {
 			pl.reportErr(fmt.Errorf("ff: ordered farm lost %d sequences", len(buffered)))
 		}
 	}
 	if col != nil {
-		if fin, ok := col.(Finalizer); ok {
-			fin.End()
-		}
+		endSafe(pl, col, "collector")
 	}
 	if out != nil {
 		out.Push(EOS)

@@ -23,6 +23,11 @@ type Node interface {
 	// Svc processes one task. Return the output task, GoOn for no output,
 	// or EOS to end the stream (sources end this way; middle nodes ending
 	// early also propagate EOS downstream).
+	//
+	// Returning an error value marks the node as failed: the stream is
+	// canceled, the remaining stages drain, and the error surfaces from
+	// Run. A panic inside Svc is recovered and treated the same way, so a
+	// broken stage never crashes the process.
 	Svc(task any) any
 }
 

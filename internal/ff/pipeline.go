@@ -1,13 +1,22 @@
 package ff
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // defaultQueueCap is the default bounded-queue capacity between nodes,
 // matching FastFlow's default of 512 slots.
 const defaultQueueCap = 512
+
+// stuckGrace bounds how long RunContext waits, after cancellation, for
+// stages to notice and wind down. A stage stuck inside user code past this
+// deadline is abandoned (its goroutine leaks; the process survives).
+const stuckGrace = time.Second
 
 // stage is anything that can occupy a pipeline position: a Node or a *Farm.
 type stage interface {
@@ -20,6 +29,11 @@ type Pipeline struct {
 	stages   []stage
 	queueCap int
 	spinning bool
+
+	// canceled aborts the stream: sources stop emitting, other stages drop
+	// their inputs and drain. Set by Cancel, RunContext expiry, and the
+	// first node failure.
+	canceled atomic.Bool
 
 	errMu sync.Mutex
 	errs  []error
@@ -90,6 +104,14 @@ func (p *Pipeline) SetSpinning(on bool) *Pipeline {
 	return p
 }
 
+// Cancel aborts the stream: the source stops generating, every other stage
+// stops processing and drains its input so the pipeline winds down without
+// deadlock. Already-emitted items may be dropped. Safe from any goroutine.
+func (p *Pipeline) Cancel() { p.canceled.Store(true) }
+
+// Canceled reports whether the stream has been aborted.
+func (p *Pipeline) Canceled() bool { return p.canceled.Load() }
+
 // reportErr records a node failure; the first one is returned by Run.
 func (p *Pipeline) reportErr(err error) {
 	p.errMu.Lock()
@@ -97,9 +119,36 @@ func (p *Pipeline) reportErr(err error) {
 	p.errMu.Unlock()
 }
 
+// fail records a node failure and cancels the stream, so one broken stage
+// stops the whole graph instead of leaving it running on garbage.
+func (p *Pipeline) fail(err error) {
+	p.reportErr(err)
+	p.Cancel()
+}
+
+// firstErr returns the first recorded failure.
+func (p *Pipeline) firstErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if len(p.errs) > 0 {
+		return p.errs[0]
+	}
+	return nil
+}
+
 // Run starts every stage and blocks until the stream has fully drained
-// (run_and_wait_end). It returns the first node error, if any.
+// (run_and_wait_end). It returns the first node error, if any. A panicking
+// stage does not crash the process: the panic is recovered, reported as a
+// node error and cancels the stream.
 func (p *Pipeline) Run() error {
+	return p.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: when ctx expires the stream is
+// canceled, the stages drain, and the context error is returned. A stage
+// stuck in user code past a grace period is abandoned (its goroutine leaks)
+// rather than hanging the caller forever.
+func (p *Pipeline) RunContext(ctx context.Context) error {
 	n := len(p.stages)
 	queues := make([]*SPSC[any], n-1)
 	for i := range queues {
@@ -116,13 +165,22 @@ func (p *Pipeline) Run() error {
 		}
 		s.start(p, in, out, &wg)
 	}
-	wg.Wait()
-	p.errMu.Lock()
-	defer p.errMu.Unlock()
-	if len(p.errs) > 0 {
-		return p.errs[0]
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		p.fail(fmt.Errorf("ff: run canceled: %w", ctx.Err()))
+		select {
+		case <-done:
+		case <-time.After(stuckGrace):
+			return fmt.Errorf("ff: run canceled with stages still blocked: %w", ctx.Err())
+		}
 	}
-	return nil
+	return p.firstErr()
 }
 
 // nodeStage runs a single Node on its own goroutine.
@@ -138,34 +196,85 @@ func (ns *nodeStage) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup)
 	}()
 }
 
+// svcSafe invokes n.Svc with panic containment. A panic or an error return
+// value becomes a recorded node failure that cancels the stream; ok=false
+// tells the caller to stop servicing this node (drain and propagate EOS).
+func svcSafe(pl *Pipeline, n Node, task any, where string) (r any, ok bool) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			pl.fail(fmt.Errorf("ff: %s: panic: %v\n%s", where, pv, debug.Stack()))
+			r, ok = nil, false
+		}
+	}()
+	r = n.Svc(task)
+	if err, isErr := r.(error); isErr {
+		pl.fail(fmt.Errorf("ff: %s: %w", where, err))
+		return nil, false
+	}
+	return r, true
+}
+
+// initSafe runs the node's Init (if any) with panic containment. It reports
+// whether servicing may proceed.
+func initSafe(pl *Pipeline, n Node, where string) (ok bool) {
+	init, isInit := n.(Initializer)
+	if !isInit {
+		return true
+	}
+	defer func() {
+		if pv := recover(); pv != nil {
+			pl.fail(fmt.Errorf("ff: %s: init panic: %v\n%s", where, pv, debug.Stack()))
+			ok = false
+		}
+	}()
+	if err := init.Init(); err != nil {
+		pl.fail(fmt.Errorf("ff: %s: init: %w", where, err))
+		return false
+	}
+	return true
+}
+
+// endSafe runs the node's End (if any) with panic containment.
+func endSafe(pl *Pipeline, n Node, where string) {
+	fin, isFin := n.(Finalizer)
+	if !isFin {
+		return
+	}
+	defer func() {
+		if pv := recover(); pv != nil {
+			pl.fail(fmt.Errorf("ff: %s: end panic: %v\n%s", where, pv, debug.Stack()))
+		}
+	}()
+	fin.End()
+}
+
 // runNode is the generic node service loop shared by pipeline stages and
-// farm roles: init, consume/produce until EOS, finalize, propagate EOS.
+// farm roles: init, consume/produce until EOS (or failure/cancellation),
+// finalize, propagate EOS.
 func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
+	where := fmt.Sprintf("node %T", n)
 	send := func(v any) {
-		if out != nil {
+		if out != nil && !pl.Canceled() {
 			out.Push(v)
 		}
 	}
 	if on, ok := n.(OutNode); ok {
 		on.setOut(send)
 	}
-	if init, ok := n.(Initializer); ok {
-		if err := init.Init(); err != nil {
-			pl.reportErr(fmt.Errorf("ff: init: %w", err))
-			if in != nil {
-				drain(in)
-			}
-			if out != nil {
-				out.Push(EOS)
-			}
-			return
+	if !initSafe(pl, n, where) {
+		if in != nil {
+			drain(in)
 		}
+		if out != nil {
+			out.Push(EOS)
+		}
+		return
 	}
 	if in == nil {
-		// Source: svc(nil) until EOS.
-		for {
-			r := n.Svc(nil)
-			if r == EOS {
+		// Source: svc(nil) until EOS or the stream is aborted.
+		for !pl.Canceled() {
+			r, ok := svcSafe(pl, n, nil, where)
+			if !ok || r == EOS {
 				break
 			}
 			if r != GoOn {
@@ -178,10 +287,15 @@ func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
 			if t == EOS {
 				break
 			}
-			r := n.Svc(t)
-			if r == EOS {
-				// Early termination: keep consuming so upstream can
-				// finish, but drop the items.
+			if pl.Canceled() {
+				// Keep consuming so upstream can finish, drop the items.
+				drain(in)
+				break
+			}
+			r, ok := svcSafe(pl, n, t, where)
+			if !ok || r == EOS {
+				// Failure or early termination: keep consuming so upstream
+				// can finish, but drop the items.
 				drain(in)
 				break
 			}
@@ -190,9 +304,7 @@ func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
 			}
 		}
 	}
-	if f, ok := n.(Finalizer); ok {
-		f.End()
-	}
+	endSafe(pl, n, where)
 	if out != nil {
 		out.Push(EOS)
 	}

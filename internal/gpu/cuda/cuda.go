@@ -15,11 +15,16 @@
 package cuda
 
 import (
+	"errors"
 	"fmt"
 
 	"streamgpu/internal/des"
 	"streamgpu/internal/gpu"
 )
+
+// ErrNoDevices is returned when no GPU is visible (cudaErrorNoDevice).
+// Callers are expected to treat it as "run the CPU path", not as fatal.
+var ErrNoDevices = errors.New("cuda: no devices")
 
 // MemcpyKind selects a transfer direction, as in the CUDA runtime.
 type MemcpyKind int
@@ -38,12 +43,14 @@ type Runtime struct {
 }
 
 // NewRuntime creates a runtime over the given devices (device 0 is the
-// default current device for every thread, as in CUDA).
-func NewRuntime(sim *des.Sim, devices ...*gpu.Device) *Runtime {
+// default current device for every thread, as in CUDA). With no devices it
+// returns ErrNoDevices so the caller can fall back to the CPU path instead
+// of crashing.
+func NewRuntime(sim *des.Sim, devices ...*gpu.Device) (*Runtime, error) {
 	if len(devices) == 0 {
-		panic("cuda: no devices")
+		return nil, ErrNoDevices
 	}
-	return &Runtime{sim: sim, devices: devices, current: make(map[*des.Proc]int)}
+	return &Runtime{sim: sim, devices: devices, current: make(map[*des.Proc]int)}, nil
 }
 
 // DeviceCount reports the number of visible devices (cudaGetDeviceCount).

@@ -30,7 +30,11 @@ func newRuntime(t *testing.T, nDev int) (*des.Sim, *Runtime) {
 	for i := range devs {
 		devs[i] = gpu.NewDevice(sim, gpu.TitanXPSpec(), i)
 	}
-	return sim, NewRuntime(sim, devs...)
+	rt, err := NewRuntime(sim, devs...)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	return sim, rt
 }
 
 func TestMemcpyLaunchRoundTrip(t *testing.T) {

@@ -1,0 +1,135 @@
+package gpu
+
+import (
+	"testing"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
+)
+
+// faultTestKernel adds one to every byte of its buffer argument.
+var faultTestKernel = &Kernel{
+	Name: "inc",
+	Func: func(t Thread) int64 { return 8 },
+}
+
+// faultRun drives nOps copy+kernel rounds against a device with the given
+// injector config and returns the per-op error observations.
+func faultRun(t *testing.T, cfg fault.Config, nOps int) []bool {
+	t.Helper()
+	sim := des.New()
+	dev := NewDevice(sim, TitanXPSpec(), 0)
+	dev.SetFaultInjector(fault.New(cfg))
+	failed := make([]bool, 0, nOps*2)
+	sim.Spawn("host", func(p *des.Proc) {
+		st := dev.NewStream("")
+		buf, err := dev.Malloc(64)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		h := NewPinnedBuf(64)
+		for i := 0; i < nOps; i++ {
+			evC := st.CopyH2D(p, buf, 0, h, 0, 64)
+			evK := st.Launch(p, faultTestKernel, Grid1D(64, 32))
+			failed = append(failed, WaitErr(p, evC) != nil, WaitErr(p, evK) != nil)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return failed
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	cfg := fault.Config{Seed: 11, TransferRate: 0.2, KernelRate: 0.1}
+	a := faultRun(t, cfg, 200)
+	b := faultRun(t, cfg, 200)
+	nFail := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: fault schedules diverge across identical runs", i)
+		}
+		if a[i] {
+			nFail++
+		}
+	}
+	if nFail == 0 {
+		t.Fatal("no faults injected at 20%/10% rates over 400 ops")
+	}
+}
+
+func TestFaultedOpDoesNotCorruptLaterOps(t *testing.T) {
+	// Even with faults in the schedule, non-faulted copies still move real
+	// bytes and the stream keeps draining (no hang, no corruption).
+	sim := des.New()
+	dev := NewDevice(sim, TitanXPSpec(), 0)
+	dev.SetFaultInjector(fault.New(fault.Config{Seed: 3, TransferRate: 0.3}))
+	sim.Spawn("host", func(p *des.Proc) {
+		st := dev.NewStream("")
+		buf := mustMalloc(dev, 8)
+		src := NewPinnedBuf(8)
+		dst := NewPinnedBuf(8)
+		for i := 0; i < 50; i++ {
+			copy(src.Data, []byte{byte(i), 1, 2, 3, 4, 5, 6, 7})
+			up := st.CopyH2D(p, buf, 0, src, 0, 8)
+			down := st.CopyD2H(p, dst, 0, buf, 0, 8)
+			if WaitErr(p, up, down) == nil && dst.Data[0] != byte(i) {
+				t.Errorf("round %d: fault-free round trip corrupted data", i)
+			}
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestDeviceKillFailsEverythingAfter(t *testing.T) {
+	sim := des.New()
+	dev := NewDevice(sim, TitanXPSpec(), 0)
+	dev.SetFaultInjector(fault.New(fault.Config{Seed: 1, KillAfterOps: 3}))
+	sim.Spawn("host", func(p *des.Proc) {
+		st := dev.NewStream("")
+		buf := mustMalloc(dev, 16)
+		h := NewPinnedBuf(16)
+		var errs int
+		for i := 0; i < 10; i++ {
+			if WaitErr(p, st.CopyH2D(p, buf, 0, h, 0, 16)) != nil {
+				errs++
+			}
+		}
+		if errs != 8 { // ops 1,2 succeed; op 3 kills; 3..10 fail
+			t.Errorf("got %d failed ops, want 8", errs)
+		}
+		if !dev.Lost() {
+			t.Error("device not marked lost after kill")
+		}
+		if _, err := dev.Malloc(16); !fault.IsDeviceLost(err) {
+			t.Errorf("Malloc on lost device = %v, want device-lost", err)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestInjectedFaultsCostVirtualTime(t *testing.T) {
+	sim := des.New()
+	dev := NewDevice(sim, TitanXPSpec(), 0)
+	dev.SetFaultInjector(fault.New(fault.Config{Seed: 1, KillAfterOps: 1}))
+	var elapsed des.Time
+	sim.Spawn("host", func(p *des.Proc) {
+		st := dev.NewStream("")
+		buf := mustMalloc(dev, 16)
+		h := NewPinnedBuf(16)
+		start := p.Now()
+		WaitErr(p, st.CopyH2D(p, buf, 0, h, 0, 16))
+		elapsed = p.Now() - start
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("faulted op completed in zero virtual time; faults must cost their fixed overhead")
+	}
+}

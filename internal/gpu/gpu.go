@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
 )
 
 // DeviceSpec describes the modelled hardware. All Duration fields are
@@ -106,6 +107,10 @@ type Device struct {
 	memUsed int64
 	streams int
 
+	// inj, when set, is consulted before every stream operation; injected
+	// faults surface as error values on the operation's completion event.
+	inj *fault.Injector
+
 	stats Stats
 }
 
@@ -145,6 +150,43 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // MemUsed reports current device-memory allocation.
 func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// SetFaultInjector attaches a fault injector: from now on every stream
+// operation (copy or kernel) consults it, and injected faults fire the
+// operation's completion event with an error value instead of its normal
+// result. Use one injector per device so fault schedules stay independent.
+func (d *Device) SetFaultInjector(in *fault.Injector) { d.inj = in }
+
+// Lost reports whether an injected fault has permanently killed the device.
+func (d *Device) Lost() bool { return d.inj != nil && d.inj.Lost() }
+
+// checkFault consults the injector (if any) for one operation and converts
+// its verdict into the error the operation's completion event will carry.
+func (d *Device) checkFault(op fault.Op, what string) error {
+	if d.inj == nil {
+		return nil
+	}
+	switch d.inj.Check(op) {
+	case fault.Transient:
+		return fmt.Errorf("%s: %s: %w", d.name, what, fault.ErrTransient)
+	case fault.DeviceLost:
+		return fmt.Errorf("%s: %s: %w", d.name, what, fault.ErrDeviceLost)
+	}
+	return nil
+}
+
+// WaitErr waits on completion events in order and returns the first error
+// value any of them carries (injected faults travel this way). Events that
+// fire normal results (nil or LaunchResult) are treated as success.
+func WaitErr(p *des.Proc, evs ...*des.Event) error {
+	var first error
+	for _, ev := range evs {
+		if err, ok := ev.Wait(p).(error); ok && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // transferTime returns the virtual duration of moving n bytes in the given
 // direction with the given host-memory kind.

@@ -50,7 +50,7 @@ func TestFunctionalRoundTrip(t *testing.T) {
 	}
 	out := NewPinnedBuf(n)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
-		buf := d.MustMalloc(n)
+		buf := mustMalloc(d, n)
 		st := d.NewStream("s")
 		st.CopyH2D(p, buf, 0, host, 0, n)
 		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
@@ -75,7 +75,7 @@ func TestStreamOrdering(t *testing.T) {
 	}
 	out := NewPinnedBuf(n)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
-		buf := d.MustMalloc(n)
+		buf := mustMalloc(d, n)
 		st := d.NewStream("")
 		st.CopyH2D(p, buf, 0, host, 0, n)
 		st.Launch(p, incKernel(buf, n), Grid1D(n, 32))
@@ -97,7 +97,7 @@ func TestCopyOffsets(t *testing.T) {
 	}
 	out := NewPinnedBuf(4)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
-		buf := d.MustMalloc(32)
+		buf := mustMalloc(d, 32)
 		st := d.NewStream("")
 		st.CopyH2D(p, buf, 10, host, 4, 4) // device[10:14] = host[4:8]
 		st.CopyD2H(p, out, 0, buf, 10, 4)
@@ -120,7 +120,7 @@ func TestPinnedFasterThanPageable(t *testing.T) {
 			h = NewHostBuf(n)
 		}
 		return runOnDevice(t, func(p *des.Proc, d *Device) {
-			buf := d.MustMalloc(n)
+			buf := mustMalloc(d, n)
 			st := d.NewStream("")
 			st.CopyH2D(p, buf, 0, h, 0, n)
 			st.Synchronize(p)
@@ -226,7 +226,7 @@ func TestCopyComputeOverlap(t *testing.T) {
 	const n = 8 << 20
 	host := NewPinnedBuf(n)
 	serial := runOnDevice(t, func(p *des.Proc, d *Device) {
-		buf := d.MustMalloc(n)
+		buf := mustMalloc(d, n)
 		st := d.NewStream("")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
 		st.CopyH2D(p, buf, 0, host, 0, n)
@@ -236,8 +236,8 @@ func TestCopyComputeOverlap(t *testing.T) {
 		st.Synchronize(p)
 	})
 	overlapped := runOnDevice(t, func(p *des.Proc, d *Device) {
-		bufA := d.MustMalloc(n)
-		bufB := d.MustMalloc(n)
+		bufA := mustMalloc(d, n)
+		bufB := mustMalloc(d, n)
 		s1 := d.NewStream("s1")
 		s2 := d.NewStream("s2")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
@@ -303,7 +303,7 @@ func TestMallocAccountingAndOOM(t *testing.T) {
 func TestDoubleFreePanics(t *testing.T) {
 	sim := des.New()
 	d := NewDevice(sim, testSpec(), 0)
-	b := d.MustMalloc(16)
+	b := mustMalloc(d, 16)
 	b.Free()
 	defer func() {
 		if recover() == nil {
@@ -318,7 +318,7 @@ func TestCopyRangeChecked(t *testing.T) {
 	sim := des.New()
 	d := NewDevice(sim, testSpec(), 0)
 	sim.Spawn("host", func(p *des.Proc) {
-		buf := d.MustMalloc(8)
+		buf := mustMalloc(d, 8)
 		st := d.NewStream("")
 		st.CopyH2D(p, buf, 4, host, 0, 8) // overruns device buffer
 	})
@@ -333,7 +333,7 @@ func TestStats(t *testing.T) {
 	sim := des.New()
 	d := NewDevice(sim, testSpec(), 0)
 	sim.Spawn("host", func(p *des.Proc) {
-		buf := d.MustMalloc(n)
+		buf := mustMalloc(d, n)
 		st := d.NewStream("")
 		st.CopyH2D(p, buf, 0, host, 0, n)
 		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
@@ -522,8 +522,8 @@ func TestCopyD2D(t *testing.T) {
 	}
 	out := NewPinnedBuf(64)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
-		a := d.MustMalloc(64)
-		b := d.MustMalloc(64)
+		a := mustMalloc(d, 64)
+		b := mustMalloc(d, 64)
 		st := d.NewStream("")
 		st.CopyH2D(p, a, 0, host, 0, 64)
 		st.CopyD2D(p, b, 0, a, 0, 64)
@@ -542,8 +542,8 @@ func TestCopyD2DCrossDevicePanics(t *testing.T) {
 	d0 := NewDevice(sim, testSpec(), 0)
 	d1 := NewDevice(sim, testSpec(), 1)
 	sim.Spawn("host", func(p *des.Proc) {
-		a := d0.MustMalloc(8)
-		b := d1.MustMalloc(8)
+		a := mustMalloc(d0, 8)
+		b := mustMalloc(d1, 8)
 		st := d0.NewStream("")
 		st.CopyD2D(p, b, 0, a, 0, 8) // wrong device: must fail
 	})
@@ -556,14 +556,14 @@ func TestCopyD2DFasterThanPCIe(t *testing.T) {
 	const n = 8 << 20
 	host := NewPinnedBuf(n)
 	viaPCIe := runOnDevice(t, func(p *des.Proc, d *Device) {
-		a := d.MustMalloc(n)
+		a := mustMalloc(d, n)
 		st := d.NewStream("")
 		st.CopyH2D(p, a, 0, host, 0, n)
 		st.Synchronize(p)
 	})
 	onDevice := runOnDevice(t, func(p *des.Proc, d *Device) {
-		a := d.MustMalloc(n)
-		b := d.MustMalloc(n)
+		a := mustMalloc(d, n)
+		b := mustMalloc(d, n)
 		st := d.NewStream("")
 		st.CopyD2D(p, b, 0, a, 0, n)
 		st.Synchronize(p)
@@ -571,4 +571,14 @@ func TestCopyD2DFasterThanPCIe(t *testing.T) {
 	if onDevice >= viaPCIe {
 		t.Errorf("D2D (%v) should be much faster than PCIe (%v)", onDevice, viaPCIe)
 	}
+}
+
+// mustMalloc allocates or panics; inside a des process the panic becomes a
+// Sim.Run error, which the tests treat as fatal.
+func mustMalloc(d *Device, n int64) *Buf {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -3,6 +3,8 @@ package gpu
 import (
 	"errors"
 	"fmt"
+
+	"streamgpu/internal/fault"
 )
 
 // ErrOutOfMemory is returned by Malloc when the device's global memory is
@@ -19,10 +21,16 @@ type Buf struct {
 	freed bool
 }
 
-// Malloc allocates n bytes of device memory.
+// Malloc allocates n bytes of device memory. Allocation failure — exhausted
+// global memory, or a device an injected fault has killed — is an error the
+// caller handles (fall back to CPU, fail over, or shrink the batch), never a
+// library-side panic.
 func (d *Device) Malloc(n int64) (*Buf, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gpu: malloc of %d bytes", n)
+	}
+	if d.Lost() {
+		return nil, fmt.Errorf("gpu: malloc on %s: %w", d.name, fault.ErrDeviceLost)
 	}
 	if d.memUsed+n > d.Spec.GlobalMemBytes {
 		return nil, fmt.Errorf("%w: want %d, used %d of %d", ErrOutOfMemory, n, d.memUsed, d.Spec.GlobalMemBytes)
@@ -32,15 +40,6 @@ func (d *Device) Malloc(n int64) (*Buf, error) {
 		d.stats.PeakMemUsed = d.memUsed
 	}
 	return &Buf{dev: d, data: make([]byte, n)}, nil
-}
-
-// MustMalloc is Malloc that panics on failure, for setup code.
-func (d *Device) MustMalloc(n int64) *Buf {
-	b, err := d.Malloc(n)
-	if err != nil {
-		panic(err)
-	}
-	return b
 }
 
 // Free releases the allocation. Double-free panics.

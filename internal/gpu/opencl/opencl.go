@@ -11,6 +11,7 @@
 package opencl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,18 +19,24 @@ import (
 	"streamgpu/internal/gpu"
 )
 
+// ErrNoDevices is returned when no device is visible (CL_DEVICE_NOT_FOUND).
+// Callers are expected to treat it as "run the CPU path", not as fatal.
+var ErrNoDevices = errors.New("opencl: no devices")
+
 // Context owns devices and buffers, like a cl_context.
 type Context struct {
 	sim     *des.Sim
 	devices []*gpu.Device
 }
 
-// CreateContext builds a context over the discovered devices.
-func CreateContext(sim *des.Sim, devices ...*gpu.Device) *Context {
+// CreateContext builds a context over the discovered devices. With no
+// devices it returns ErrNoDevices so the caller can fall back to the CPU
+// path instead of crashing.
+func CreateContext(sim *des.Sim, devices ...*gpu.Device) (*Context, error) {
 	if len(devices) == 0 {
-		panic("opencl: no devices")
+		return nil, ErrNoDevices
 	}
-	return &Context{sim: sim, devices: devices}
+	return &Context{sim: sim, devices: devices}, nil
 }
 
 // Devices lists the context's devices (clGetDeviceIDs analogue).

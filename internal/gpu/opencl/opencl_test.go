@@ -32,7 +32,11 @@ func newCtx(t *testing.T, nDev int) (*des.Sim, *Context) {
 	for i := range devs {
 		devs[i] = gpu.NewDevice(sim, gpu.TitanXPSpec(), i)
 	}
-	return sim, CreateContext(sim, devs...)
+	ctx, err := CreateContext(sim, devs...)
+	if err != nil {
+		t.Fatalf("CreateContext: %v", err)
+	}
+	return sim, ctx
 }
 
 func TestWorkflowRoundTrip(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
 )
 
 // opKind discriminates stream operations.
@@ -16,6 +17,21 @@ const (
 	opKernel
 	opMarker
 )
+
+// opName labels an op kind for fault messages.
+func opName(k opKind) string {
+	switch k {
+	case opCopyH2D:
+		return "h2d copy"
+	case opCopyD2H:
+		return "d2h copy"
+	case opCopyD2D:
+		return "d2d copy"
+	case opKernel:
+		return "kernel"
+	}
+	return "op"
+}
 
 // op is one entry in a stream's in-order command queue.
 type op struct {
@@ -80,6 +96,24 @@ func (st *Stream) engine(p *des.Proc) {
 		o, ok := st.ops.Get(p)
 		if !ok {
 			return
+		}
+		// Fault injection: real operations (not markers) consult the
+		// device's injector. A faulted operation still costs its fixed
+		// overhead in virtual time, then completes with an error value; the
+		// stream keeps draining, so a dead device fails fast instead of
+		// hanging its callers.
+		if o.kind != opMarker && d.inj != nil {
+			fop := fault.Transfer
+			penalty := d.Spec.CopyLatency
+			if o.kind == opKernel {
+				fop = fault.Kernel
+				penalty = d.Spec.KernelLaunchOverhead
+			}
+			if err := d.checkFault(fop, opName(o.kind)); err != nil {
+				p.Wait(penalty)
+				o.done.Fire(err)
+				continue
+			}
 		}
 		switch o.kind {
 		case opCopyH2D:

@@ -236,10 +236,10 @@ func execKernel(t *testing.T, spec *gpu.KernelSpec, data []byte, startPos []int3
 	mlHost := gpu.NewPinnedBuf(int64(len(data) * 4))
 	moHost := gpu.NewPinnedBuf(int64(len(data) * 4))
 	sim.Spawn("host", func(p *des.Proc) {
-		dIn := dev.MustMalloc(int64(len(data)))
-		dSp := dev.MustMalloc(int64(len(startPos) * 4))
-		dMl := dev.MustMalloc(int64(len(data) * 4))
-		dMo := dev.MustMalloc(int64(len(data) * 4))
+		dIn := mustMalloc(dev, int64(len(data)))
+		dSp := mustMalloc(dev, int64(len(startPos)*4))
+		dMl := mustMalloc(dev, int64(len(data)*4))
+		dMo := mustMalloc(dev, int64(len(data)*4))
 		spBytes := make([]byte, len(startPos)*4)
 		sha1x.PutStartPos(spBytes, startPos)
 		st := dev.NewStream("")
@@ -376,4 +376,14 @@ func BenchmarkDecompress64KB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustMalloc allocates or panics; inside a des process the panic becomes a
+// Sim.Run error, which the tests treat as fatal.
+func mustMalloc(d *gpu.Device, n int64) *gpu.Buf {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -1,0 +1,127 @@
+package mandel
+
+import (
+	"bytes"
+	"testing"
+
+	"streamgpu/internal/fault"
+)
+
+func ftRef(t *testing.T) *Image {
+	t.Helper()
+	im, _ := RunSeq(TestParams())
+	return im
+}
+
+func TestRunGPUFTFaultFree(t *testing.T) {
+	p := TestParams()
+	for _, ng := range []int{1, 2} {
+		im, rep, err := RunGPUFT(p, FTConfig{NGPUs: ng})
+		if err != nil {
+			t.Fatalf("nGPUs=%d: %v", ng, err)
+		}
+		if !bytes.Equal(im.Pix, ftRef(t).Pix) {
+			t.Fatalf("nGPUs=%d: image differs from sequential reference", ng)
+		}
+		if rep != (FTReport{}) {
+			t.Fatalf("nGPUs=%d: fault-free run reported recovery activity: %+v", ng, rep)
+		}
+	}
+}
+
+func TestRunGPUFTTransientRetries(t *testing.T) {
+	p := TestParams()
+	cfg := FTConfig{
+		NGPUs:      1,
+		BatchSize:  8, // 16 batches → enough operations for the rates to bite
+		MaxRetries: 8,
+		Faults:     []fault.Config{{Seed: 21, TransferRate: 0.15, KernelRate: 0.15}},
+	}
+	im, rep, err := RunGPUFT(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(im.Pix, ftRef(t).Pix) {
+		t.Fatal("image differs from sequential reference under transient faults")
+	}
+	if rep.Retries == 0 {
+		t.Fatal("expected transient retries at 15% fault rates")
+	}
+	if rep.DevicesLost != 0 {
+		t.Fatalf("no device loss configured, got %+v", rep)
+	}
+}
+
+func TestRunGPUFTKillOneOfTwoGPUs(t *testing.T) {
+	// The acceptance scenario: the Fig. 1 two-GPU configuration, one device
+	// deterministically killed mid-run. The run must complete on the
+	// survivor with a bit-identical image.
+	p := TestParams()
+	cfg := FTConfig{
+		NGPUs:  2,
+		Faults: []fault.Config{{Seed: 5, KillAfterOps: 3}},
+	}
+	im, rep, err := RunGPUFT(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(im.Pix, ftRef(t).Pix) {
+		t.Fatal("image differs from sequential reference after device loss")
+	}
+	if rep.DevicesLost != 1 {
+		t.Fatalf("DevicesLost = %d, want 1 (report %+v)", rep.DevicesLost, rep)
+	}
+	if rep.FailedOver == 0 {
+		t.Fatalf("the killed device's in-flight batch should fail over (report %+v)", rep)
+	}
+}
+
+func TestRunGPUFTDeterministicSchedule(t *testing.T) {
+	p := TestParams()
+	cfg := FTConfig{
+		NGPUs:      2,
+		MaxRetries: 4,
+		Faults: []fault.Config{
+			{Seed: 5, TransferRate: 0.1, KernelRate: 0.05, KillAfterOps: 9},
+			{Seed: 6, TransferRate: 0.05},
+		},
+	}
+	imA, repA, errA := RunGPUFT(p, cfg)
+	imB, repB, errB := RunGPUFT(p, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v, %v", errA, errB)
+	}
+	if repA != repB {
+		t.Fatalf("same seeds, different recovery reports: %+v vs %+v", repA, repB)
+	}
+	if !bytes.Equal(imA.Pix, imB.Pix) {
+		t.Fatal("same seeds, different images")
+	}
+	if !bytes.Equal(imA.Pix, ftRef(t).Pix) {
+		t.Fatal("image differs from sequential reference")
+	}
+}
+
+func TestRunGPUFTAllDevicesLostDegradesToCPU(t *testing.T) {
+	p := TestParams()
+	cfg := FTConfig{
+		NGPUs: 2,
+		Faults: []fault.Config{
+			{Seed: 1, KillAfterOps: 2},
+			{Seed: 2, KillAfterOps: 2},
+		},
+	}
+	im, rep, err := RunGPUFT(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(im.Pix, ftRef(t).Pix) {
+		t.Fatal("image differs from sequential reference after total device loss")
+	}
+	if rep.DevicesLost != 2 {
+		t.Fatalf("DevicesLost = %d, want 2", rep.DevicesLost)
+	}
+	if rep.CPUBatches == 0 {
+		t.Fatal("with every device dead, remaining batches must degrade to CPU")
+	}
+}

@@ -7,6 +7,8 @@
 package mandel
 
 import (
+	"context"
+
 	"streamgpu/internal/core"
 	"streamgpu/internal/ff"
 	"streamgpu/internal/gpu"
@@ -122,6 +124,12 @@ func RunSeq(p Params) (*Image, int64) {
 // RunSPar computes the frame with the SPar DSL: ToStream with a replicated
 // compute Stage and an ordered show Stage (Listing 1's annotation schema).
 func RunSPar(p Params, workers int) (*Image, error) {
+	return RunSParContext(context.Background(), p, workers)
+}
+
+// RunSParContext is RunSPar under a context: cancellation or timeout aborts
+// the stream and returns the context error (the frame is then incomplete).
+func RunSParContext(ctx context.Context, p Params, workers int) (*Image, error) {
 	im := NewImage(p.Dim)
 	ts := core.NewToStream(core.Ordered(), core.Input("dim", "init_a", "init_b", "step", "niter")).
 		Stage(func(item any, emit func(any)) {
@@ -134,7 +142,7 @@ func RunSPar(p Params, workers int) (*Image, error) {
 			r := item.(*Row)
 			im.SetRow(r.I, r.Img)
 		}, core.Name("show"), core.Input("img"))
-	err := ts.Run(func(emit func(any)) {
+	err := ts.RunContext(ctx, func(emit func(any)) {
 		for i := 0; i < p.Dim; i++ {
 			emit(&Row{I: i, Img: make([]byte, p.Dim)})
 		}

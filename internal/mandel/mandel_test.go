@@ -95,7 +95,7 @@ func TestRowKernelMatchesCPU(t *testing.T) {
 	got := make([]byte, p.Dim*p.Dim)
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
-		dImg := dev.MustMalloc(int64(p.Dim))
+		dImg := mustMalloc(dev, int64(p.Dim))
 		hImg := gpu.NewPinnedBuf(int64(p.Dim))
 		for i := 0; i < p.Dim; i++ {
 			st.Launch(proc, RowKernel.Bind(i, p, dImg, int64(160)), gpu.Grid1D(p.Dim, 128))
@@ -123,7 +123,7 @@ func TestRowKernel2DGridMatchesCPU(t *testing.T) {
 	got := make([]byte, p.Dim)
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
-		dImg := dev.MustMalloc(int64(p.Dim))
+		dImg := mustMalloc(dev, int64(p.Dim))
 		hImg := gpu.NewPinnedBuf(int64(p.Dim))
 		g := gpu.Grid{Grid: gpu.Dim3{X: (p.Dim + 1023) / 1024}, Block: gpu.Dim3{X: 32, Y: 32}}
 		st.Launch(proc, RowKernel.Bind(row, p, dImg, int64(160)), g)
@@ -148,7 +148,7 @@ func TestBatchKernelMatchesCPU(t *testing.T) {
 	got := make([]byte, p.Dim*p.Dim)
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
-		dImg := dev.MustMalloc(int64(batchSize * p.Dim))
+		dImg := mustMalloc(dev, int64(batchSize*p.Dim))
 		hImg := gpu.NewPinnedBuf(int64(batchSize * p.Dim))
 		nBatches := (p.Dim + batchSize - 1) / batchSize
 		for b := 0; b < nBatches; b++ {
@@ -285,7 +285,7 @@ func TestCachedKernelsMatchDirect(t *testing.T) {
 				}
 				out := make([]byte, n)
 				sim.Spawn("host", func(proc *des.Proc) {
-					dImg := dev.MustMalloc(n)
+					dImg := mustMalloc(dev, n)
 					st := dev.NewStream("")
 					st.Launch(proc, spec.Bind(args(dImg)...), v.grid)
 					st.Synchronize(proc)
@@ -307,4 +307,14 @@ func TestCachedKernelsMatchDirect(t *testing.T) {
 			}
 		})
 	}
+}
+
+// mustMalloc allocates or panics; inside a des process the panic becomes a
+// Sim.Run error, which the tests treat as fatal.
+func mustMalloc(d *gpu.Device, n int64) *gpu.Buf {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -131,9 +131,9 @@ func TestKernelHashesBlocks(t *testing.T) {
 	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
 	out := gpu.NewPinnedBuf(int64(len(startPos) * Size))
 	sim.Spawn("host", func(p *des.Proc) {
-		dIn := dev.MustMalloc(int64(len(batch)))
-		dSp := dev.MustMalloc(int64(len(startPos) * 4))
-		dOut := dev.MustMalloc(int64(len(startPos) * Size))
+		dIn := mustMalloc(dev, int64(len(batch)))
+		dSp := mustMalloc(dev, int64(len(startPos)*4))
+		dOut := mustMalloc(dev, int64(len(startPos)*Size))
 		hIn := gpu.WrapHost(batch)
 		spBytes := make([]byte, len(startPos)*4)
 		PutStartPos(spBytes, startPos)
@@ -186,4 +186,14 @@ func BenchmarkSum64K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Sum20(data)
 	}
+}
+
+// mustMalloc allocates or panics; inside a des process the panic becomes a
+// Sim.Run error, which the tests treat as fatal.
+func mustMalloc(d *gpu.Device, n int64) *gpu.Buf {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
