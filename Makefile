@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify
+.PHONY: build vet lint test race verify
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs streamvet, the repository's own analyzer suite (cmd/streamvet):
+# the pipeline and GPU API contracts as machine checks, over all packages
+# including test files.
+lint:
+	$(GO) run ./cmd/streamvet ./...
+
 test:
 	$(GO) test ./...
 
-# The race detector matters most for the real goroutine runtimes (ff, the
-# SPar DSL, and the dedup pipeline built on them); the des-based packages
-# are single-threaded by construction.
+# Full-tree race coverage: the goroutine runtimes (ff, core, tbb, dedup) are
+# the packages that matter most, but everything runs under the detector so
+# new concurrency never lands unchecked.
 race:
-	$(GO) test -race ./internal/ff ./internal/core ./internal/dedup
+	$(GO) test -race ./...
 
 # verify mirrors .github/workflows/ci.yml exactly.
-verify: build vet test race
+verify: build vet lint test race

@@ -1,0 +1,78 @@
+// Command streamvet runs the repository's custom static-analysis suite — the
+// machine-checked form of the pipeline and GPU API contracts (see DESIGN.md
+// §8):
+//
+//	gpuwait    completion events from gpu.Stream ops must be waited on or kept
+//	gpufree    gpu.Buf allocations must be freed or escape
+//	runerr     ff/core/tbb Run/RunContext errors must be checked
+//	stagesend  stage-body channel sends must select on cancel/done
+//	faultseed  fault.Config in tests must set Seed
+//
+// Usage:
+//
+//	go run ./cmd/streamvet [packages]   # default ./...
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on load or
+// internal errors. Unlike `go vet`, streamvet also analyzes test files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgpu/internal/analysis"
+	"streamgpu/internal/analysis/faultseed"
+	"streamgpu/internal/analysis/gpufree"
+	"streamgpu/internal/analysis/gpuwait"
+	"streamgpu/internal/analysis/runerr"
+	"streamgpu/internal/analysis/stagesend"
+)
+
+// suite is every analyzer streamvet runs, in diagnostic-name order.
+var suite = []*analysis.Analyzer{
+	faultseed.Analyzer,
+	gpufree.Analyzer,
+	gpuwait.Analyzer,
+	runerr.Analyzer,
+	stagesend.Analyzer,
+}
+
+func main() {
+	help := flag.Bool("help", false, "print analyzer documentation and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: streamvet [-help] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *help {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamvet:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamvet:", err)
+		os.Exit(2)
+	}
+	if analysis.PrintDiagnostics(os.Stdout, loader.Fset, diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -80,7 +80,9 @@ func main() {
 			if !ok {
 				return
 			}
-			rt.EventSynchronize(p, it.ev)
+			if err := rt.EventSynchronize(p, it.ev); err != nil {
+				log.Fatalf("item %d: %v", it.idx, err)
+			}
 			want := byte(it.idx+1) * 3
 			if results[it.idx].Data[0] != want {
 				log.Fatalf("item %d: got %d, want %d", it.idx, results[it.idx].Data[0], want)

@@ -1,0 +1,106 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library.
+//
+// The repo's pipeline and GPU layers rely on conventions the compiler cannot
+// check: completion events must be waited on, device buffers freed, Run
+// errors handled, stage-body channel sends cancellable, fault injectors
+// seeded. Each convention is encoded as an Analyzer (see the sibling
+// packages gpuwait, gpufree, runerr, stagesend and faultseed) and enforced
+// over the whole tree by cmd/streamvet.
+//
+// The x/tools module is deliberately not imported — the build must work from
+// a bare Go toolchain with no module downloads — so this package provides
+// the same Analyzer/Pass/Diagnostic shape plus a `go list`-based loader
+// (load.go) and a driver (checker.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools type of the
+// same name closely enough that the sibling analyzers could be ported to the
+// real framework by changing imports.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("gpuwait").
+	Name string
+	// Doc is the analyzer's contract, shown by `streamvet -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. Position is resolved against the pass Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Callee resolves the called function or method of call, or nil for calls
+// through non-constant function values, type conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Fn(...).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ReceiverNamed returns the named type of fn's receiver (unwrapping one
+// pointer), or nil if fn is not a method.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsNamed reports whether t (unwrapping one pointer) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,126 @@
+// Package analysistest checks an analyzer against fixture packages under
+// testdata/, mirroring golang.org/x/tools/go/analysis/analysistest on top of
+// the in-repo loader (testdata directories are invisible to the go tool, so
+// fixtures may contain deliberate contract violations without breaking the
+// build or the streamvet sweep).
+//
+// Expected diagnostics are declared inline in the fixture source:
+//
+//	st.Launch(p, k, gpu.Grid{}) // want `completion event`
+//
+// Each quoted pattern after `want` is a regexp that must match a diagnostic
+// reported on that line. Diagnostics with no matching want comment, and want
+// comments with no matching diagnostic, both fail the test — so a fixture
+// with want comments proves the analyzer fires, and a clean fixture proves
+// it stays silent.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamgpu/internal/analysis"
+)
+
+// expectation is one quoted pattern of a `// want` comment.
+type expectation struct {
+	file string // base name of the fixture file
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantRE extracts the quoted patterns of a want comment; both interpreted
+// and raw string literal syntax are accepted.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run type-checks each fixture directory (relative to the calling test's
+// package directory), runs a over it, and reports every mismatch between
+// actual diagnostics and the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(cwd)
+	for _, dir := range dirs {
+		pkg, err := loader.CheckDir(filepath.Join(cwd, dir))
+		if err != nil {
+			t.Fatalf("%s: loading fixture: %v", dir, err)
+		}
+		wants, err := parseWants(t, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", dir, a.Name, err)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			if !claim(wants, filepath.Base(pos.Filename), pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s/%s:%d: no diagnostic matched %s", dir, w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// parseWants collects every expectation declared in the package's comments.
+func parseWants(t *testing.T, pkg *analysis.Package) ([]*expectation, error) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: want comment with no quoted pattern", pos)
+					continue
+				}
+				for _, lit := range lits {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad pattern %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename), line: pos.Line, re: re, raw: lit,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// claim marks the first unmet expectation matching the diagnostic as met.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}

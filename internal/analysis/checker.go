@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics, ordered by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d Diagnostic) {
+					d.Analyzer = a.Name
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Offset < pj.Offset
+		})
+	}
+	return diags, nil
+}
+
+// PrintDiagnostics writes diagnostics in the canonical
+// "file:line:col: message [analyzer]" form and reports how many there were.
+func PrintDiagnostics(w io.Writer, fset *token.FileSet, diags []Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(diags)
+}

@@ -1,0 +1,75 @@
+// Package faultseed defines an analyzer keeping fault-injection tests
+// deterministic: every fault.Config composite literal in a _test.go file
+// must set Seed explicitly.
+//
+// The injector's whole design premise (internal/fault) is that a given seed
+// reproduces the same fault schedule at the same virtual times on every
+// run. A test that builds fault.Config without naming Seed gets seed 0
+// implicitly — which still *happens* to be deterministic, but silently
+// collides with every other unseeded test and reads as "seed doesn't
+// matter". Stating the seed is the documented contract; the analyzer makes
+// it mechanical. Positional literals necessarily set Seed (it is the first
+// field) and are accepted.
+package faultseed
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"streamgpu/internal/analysis"
+)
+
+const faultPkg = "streamgpu/internal/fault"
+
+// Analyzer flags fault.Config literals in tests that omit Seed.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultseed",
+	Doc:  "fault.Config literals in tests must set Seed explicitly so fault schedules are reproducible",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isFaultConfig(pass.TypesInfo, lit) {
+				return true
+			}
+			if !setsSeed(lit) {
+				pass.Reportf(lit.Pos(), "fault.Config in a test must set Seed explicitly for a reproducible fault schedule")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFaultConfig reports whether lit builds a fault.Config value (directly or
+// as an element of a slice/array/map literal, where the type is implicit).
+func isFaultConfig(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	return analysis.IsNamed(tv.Type, faultPkg, "Config")
+}
+
+// setsSeed reports whether the literal assigns Seed. Positional literals
+// (no keys) cover Seed as long as they have at least one element.
+func setsSeed(lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return true // positional: first element is Seed
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Seed" {
+			return true
+		}
+	}
+	return false
+}

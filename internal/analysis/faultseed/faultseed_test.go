@@ -1,0 +1,12 @@
+package faultseed_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/faultseed"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, faultseed.Analyzer, "testdata/flagged", "testdata/clean")
+}

@@ -1,0 +1,9 @@
+// Fixture: non-test files are out of scope — production code may build
+// fault.Config however its caller configures it.
+package fixture
+
+import "streamgpu/internal/fault"
+
+func FromRate(rate float64) *fault.Injector {
+	return fault.New(fault.Config{TransferRate: rate})
+}

@@ -1,0 +1,13 @@
+// Fixture: seeded fault.Config literals in a test file — nothing flagged.
+package fixture
+
+import "streamgpu/internal/fault"
+
+func mkSeeded() *fault.Injector {
+	return fault.New(fault.Config{Seed: 42, TransferRate: 0.5})
+}
+
+func mkPositional() *fault.Injector {
+	// Positional literals necessarily set Seed (the first field).
+	return fault.New(fault.Config{7, 0.5, 0, 0, 0})
+}

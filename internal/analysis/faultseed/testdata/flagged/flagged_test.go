@@ -1,0 +1,19 @@
+// Fixture: fault.Config literals in a test file that omit Seed.
+package fixture
+
+import "streamgpu/internal/fault"
+
+func mkInjector() *fault.Injector {
+	cfg := fault.Config{TransferRate: 0.5} // want `must set Seed`
+	return fault.New(cfg)
+}
+
+func mkDefault() *fault.Injector {
+	return fault.New(fault.Config{}) // want `must set Seed`
+}
+
+func mkTable() []fault.Config {
+	return []fault.Config{
+		{KernelRate: 0.1}, // want `must set Seed`
+	}
+}

@@ -1,0 +1,246 @@
+// Package gpufree defines an analyzer enforcing the device-memory contract:
+// a *gpu.Buf obtained from a Malloc-style allocator must be freed on some
+// path of the allocating function, or escape it (returned, stored, sent, or
+// handed to another function that takes over ownership).
+//
+// Device memory in the model is accounted exactly like CUDA global memory —
+// leaked buffers eventually starve Malloc (gpu.ErrOutOfMemory), which is how
+// the paper's 10 MB OpenCL batches died. The analyzer is intentionally
+// flow-insensitive: one Free call (including inside a defer or closure)
+// anywhere in the function satisfies the contract.
+//
+// Uses that do NOT count as an escape: passing the buffer to gpu.Stream or
+// gpu.Device methods (transfers and launches borrow device memory, they
+// never own it) and constructing kernels from it (functions returning
+// *gpu.Kernel or *gpu.KernelSpec). Everything else — append, struct fields,
+// unknown helpers — conservatively counts as an ownership transfer.
+package gpufree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"streamgpu/internal/analysis"
+)
+
+const gpuPkg = "streamgpu/internal/gpu"
+
+// Analyzer flags device buffers that are neither freed nor escape.
+var Analyzer = &analysis.Analyzer{
+	Name: "gpufree",
+	Doc: "a gpu.Buf from Malloc must be freed on some path or escape the allocating function; " +
+		"leaked device memory starves later allocations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// alloc is one tracked Malloc result variable.
+type alloc struct {
+	call *ast.CallExpr
+	obj  types.Object
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var allocs []alloc
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isMallocCall(info, call) {
+				pass.Reportf(call.Pos(), "device buffer from %s is discarded without Free", calleeName(info, call))
+			}
+		case *ast.AssignStmt:
+			for _, a := range mallocAssigns(info, stmt) {
+				if a.obj == nil {
+					pass.Reportf(a.call.Pos(), "device buffer from %s is assigned to _ and leaks; keep it and Free it", calleeName(info, a.call))
+					continue
+				}
+				allocs = append(allocs, a)
+			}
+		}
+		return true
+	})
+	for _, a := range allocs {
+		freed, escaped := traceUses(info, body, a.obj)
+		if !freed && !escaped {
+			pass.Reportf(a.call.Pos(), "device buffer %s is never freed and does not escape; call %s.Free on every path",
+				a.obj.Name(), a.obj.Name())
+		}
+	}
+}
+
+// mallocAssigns extracts the buffer variables bound by stmt's Malloc calls.
+// A nil obj means the buffer went to the blank identifier.
+func mallocAssigns(info *types.Info, stmt *ast.AssignStmt) []alloc {
+	var out []alloc
+	// b, err := d.Malloc(n): one call, tuple result.
+	if len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok && isMallocCall(info, call) && len(stmt.Lhs) >= 1 {
+			out = append(out, alloc{call: call, obj: lhsObj(info, stmt.Lhs[0])})
+			return out
+		}
+	}
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return out
+	}
+	// b := mustMalloc(d, n) possibly among parallel assignments.
+	for i, rhs := range stmt.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isMallocCall(info, call) {
+			out = append(out, alloc{call: call, obj: lhsObj(info, stmt.Lhs[i])})
+		}
+	}
+	return out
+}
+
+// lhsObj resolves the object bound by an assignment target, nil for blank or
+// non-ident targets (those count as escapes and are not tracked).
+func lhsObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return &escapeSentinel
+	}
+	if id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return &escapeSentinel
+}
+
+// escapeSentinel stands for "assigned somewhere we cannot track" — treated
+// as escaped, never reported.
+var escapeSentinel = struct{ types.Object }{}
+
+// traceUses classifies every use of obj inside body.
+func traceUses(info *types.Info, body *ast.BlockStmt, obj types.Object) (freed, escaped bool) {
+	if obj == types.Object(&escapeSentinel) {
+		return false, true
+	}
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		switch classifyUse(info, id, stack) {
+		case useFree:
+			freed = true
+		case useEscape:
+			escaped = true
+		}
+		return true
+	})
+	return freed, escaped
+}
+
+type useKind int
+
+const (
+	useBorrow useKind = iota // read-only use; does not discharge the contract
+	useFree                  // receiver of Free
+	useEscape                // ownership left the function
+)
+
+// classifyUse decides what one identifier occurrence means for ownership.
+func classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node) useKind {
+	if len(stack) == 0 {
+		return useEscape
+	}
+	parent := stack[len(stack)-1]
+
+	// Anywhere under a return statement: the buffer leaves the function.
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.ReturnStmt); ok {
+			return useEscape
+		}
+	}
+
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// b.M(...): method call on the buffer.
+		if p.X == id && len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == p {
+				if p.Sel.Name == "Free" {
+					return useFree
+				}
+				return useBorrow // Bytes, Size, Device, ...
+			}
+		}
+		return useEscape // method value or field access we cannot track
+	case *ast.CallExpr:
+		// Buffer passed as an argument.
+		return classifyArg(info, p)
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				return useBorrow // reassignment target, not a read
+			}
+		}
+		return useEscape // aliased into another variable
+	}
+	return useEscape // composite literal, send, index, unary &, range, ...
+}
+
+// classifyArg decides whether passing the buffer to call transfers
+// ownership. Device-API borrows keep the contract with the caller.
+func classifyArg(info *types.Info, call *ast.CallExpr) useKind {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return useEscape
+	}
+	if recv := analysis.ReceiverNamed(fn); recv != nil && recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == gpuPkg {
+		switch recv.Obj().Name() {
+		case "Stream", "Device":
+			return useBorrow // transfers, launches, and queries borrow
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Results().Len() >= 1 {
+		r0 := sig.Results().At(0).Type()
+		if analysis.IsNamed(r0, gpuPkg, "Kernel") || analysis.IsNamed(r0, gpuPkg, "KernelSpec") {
+			return useBorrow // kernel construction references, never owns
+		}
+	}
+	return useEscape
+}
+
+// isMallocCall reports whether call invokes a Malloc-style allocator: any
+// function or method whose name contains "malloc" returning *gpu.Buf first,
+// with at most two results (*Buf, or *Buf + error). Bundle allocators that
+// return several buffers plus their own release func (mallocN-style) manage
+// ownership themselves and are out of scope.
+func isMallocCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || !strings.Contains(strings.ToLower(fn.Name()), "malloc") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() < 1 || sig.Results().Len() > 2 {
+		return false
+	}
+	return analysis.IsNamed(sig.Results().At(0).Type(), gpuPkg, "Buf")
+}
+
+// calleeName renders the allocator's name for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.Callee(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "Malloc"
+}

@@ -1,0 +1,12 @@
+package gpufree_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/gpufree"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, gpufree.Analyzer, "testdata/flagged", "testdata/clean")
+}

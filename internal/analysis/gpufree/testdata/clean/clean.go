@@ -1,0 +1,47 @@
+// Fixture: every buffer is freed or escapes — nothing here should be flagged.
+package fixture
+
+import (
+	"streamgpu/internal/gpu"
+)
+
+type holder struct{ buf *gpu.Buf }
+
+func frees(d *gpu.Device) error {
+	buf, err := d.Malloc(64)
+	if err != nil {
+		return err
+	}
+	defer buf.Free()
+	return nil
+}
+
+func freesConditionally(d *gpu.Device) (*gpu.Buf, error) {
+	buf, err := d.Malloc(64)
+	if err != nil {
+		return nil, err
+	}
+	if buf.Size() == 0 {
+		buf.Free()
+		return nil, nil
+	}
+	return buf, nil // escapes to caller
+}
+
+func stores(d *gpu.Device, h *holder) error {
+	buf, err := d.Malloc(64)
+	if err != nil {
+		return err
+	}
+	h.buf = buf // escapes into a struct the caller owns
+	return nil
+}
+
+func handsOff(d *gpu.Device, keep func(*gpu.Buf)) error {
+	buf, err := d.Malloc(64)
+	if err != nil {
+		return err
+	}
+	keep(buf) // unknown callee: conservatively an ownership transfer
+	return nil
+}

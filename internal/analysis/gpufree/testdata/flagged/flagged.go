@@ -1,0 +1,40 @@
+// Fixture: device buffers that leak — never freed, never escaping.
+package fixture
+
+import (
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+)
+
+func leaks(p *des.Proc, d *gpu.Device, st *gpu.Stream, h *gpu.HostBuf) {
+	buf, err := d.Malloc(64) // want `never freed`
+	if err != nil {
+		return
+	}
+	ev := st.CopyH2D(p, buf, 0, h, 0, 64) // transfers borrow; not an escape
+	_ = gpu.WaitErr(p, ev)
+}
+
+func discards(d *gpu.Device) {
+	d.Malloc(64) // want `discarded without Free`
+}
+
+func blanks(d *gpu.Device) {
+	_, err := d.Malloc(64) // want `assigned to _`
+	if err != nil {
+		return
+	}
+}
+
+func mustMalloc(d *gpu.Device, n int64) *gpu.Buf {
+	b, err := d.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return b // escapes: helper hands ownership to its caller
+}
+
+func helperLeaks(d *gpu.Device) {
+	b := mustMalloc(d, 128) // want `never freed`
+	_ = b.Size()
+}

@@ -1,0 +1,12 @@
+package gpuwait_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/gpuwait"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, gpuwait.Analyzer, "testdata/flagged", "testdata/clean")
+}

@@ -1,0 +1,27 @@
+// Fixture: every completion event is kept, waited on, or explicitly
+// discarded with the `_ =` opt-out — nothing here should be flagged.
+package fixture
+
+import (
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+)
+
+func waits(p *des.Proc, st *gpu.Stream, dst *gpu.Buf, h *gpu.HostBuf, k *gpu.Kernel) error {
+	ev := st.CopyH2D(p, dst, 0, h, 0, 64)
+	if err := gpu.WaitErr(p, ev); err != nil {
+		return err
+	}
+	evs := []*des.Event{
+		st.Launch(p, k, gpu.Grid{}),
+		st.CopyD2H(p, h, 0, dst, 0, 64),
+	}
+	return gpu.WaitErr(p, evs...)
+}
+
+func optsOut(p *des.Proc, st *gpu.Stream) {
+	// Explicitly acknowledged drop: the errcheck-style opt-out.
+	_ = st.Record(p)
+	// Synchronize returns no event; nothing to flag.
+	st.Synchronize(p)
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import "go/ast"
+
+// WithStack traverses root in depth-first order, calling fn for every node
+// with the stack of its ancestors (outermost first, n excluded). Returning
+// false prunes the node's children. It replaces the x/tools inspector for
+// analyzers that need parent context.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

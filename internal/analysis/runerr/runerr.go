@@ -1,0 +1,109 @@
+// Package runerr defines an analyzer enforcing the fault-tolerance
+// contract of the pipeline runtimes: the error returned by Run/RunContext
+// on ff, core and tbb pipelines must be consumed.
+//
+// PR 1 routed stage panics, stage error returns and injected GPU faults
+// into exactly that error value; a call like `pipe.Run()` as a bare
+// statement (or `_ = pipe.Run()`) silently reverts the program to
+// crash-or-corrupt behavior the runtime was built to prevent. The analyzer
+// flags discarded results of any method named Run or RunContext, declared
+// in one of the pipeline packages, that returns an error.
+package runerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamgpu/internal/analysis"
+)
+
+// pipelinePkgs are the packages whose Run contracts are enforced.
+var pipelinePkgs = map[string]bool{
+	"streamgpu/internal/ff":   true,
+	"streamgpu/internal/core": true,
+	"streamgpu/internal/tbb":  true,
+}
+
+// Analyzer flags discarded Run/RunContext errors on pipeline types.
+var Analyzer = &analysis.Analyzer{
+	Name: "runerr",
+	Doc: "errors returned by Run/RunContext on ff, core and tbb pipelines must be checked; " +
+		"discarding them bypasses the fault-tolerance layer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isRunErrCall(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(), "error returned by %s is not checked", runName(pass.TypesInfo, call))
+				}
+			case *ast.GoStmt:
+				if isRunErrCall(pass.TypesInfo, stmt.Call) {
+					pass.Reportf(stmt.Call.Pos(), "error returned by %s is discarded by go statement; run it in a goroutine that forwards the error", runName(pass.TypesInfo, stmt.Call))
+				}
+			case *ast.DeferStmt:
+				if isRunErrCall(pass.TypesInfo, stmt.Call) {
+					pass.Reportf(stmt.Call.Pos(), "error returned by %s is discarded by defer statement", runName(pass.TypesInfo, stmt.Call))
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags Run errors assigned to the blank identifier. Unlike
+// completion events (gpuwait), `_ =` is not an accepted opt-out here: the
+// error is the only failure signal the runtime emits.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		// err is part of a tuple (none of the pipeline Runs return tuples).
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isRunErrCall(pass.TypesInfo, call) {
+			continue
+		}
+		if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(call.Pos(), "error returned by %s is assigned to _; handle it", runName(pass.TypesInfo, call))
+		}
+	}
+}
+
+// isRunErrCall reports whether call invokes Run or RunContext declared on a
+// type of one of the pipeline packages, returning an error.
+func isRunErrCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || (fn.Name() != "Run" && fn.Name() != "RunContext") {
+		return false
+	}
+	recv := analysis.ReceiverNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || !pipelinePkgs[recv.Obj().Pkg().Path()] {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// runName renders the call for diagnostics ("pipe.Run").
+func runName(info *types.Info, call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "Run"
+}

@@ -1,0 +1,12 @@
+package runerr_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/runerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, runerr.Analyzer, "testdata/flagged", "testdata/clean")
+}

@@ -1,0 +1,33 @@
+// Fixture: every pipeline Run error is consumed — nothing here should be
+// flagged, including tbb.Pipeline.Run, which returns no error at all.
+package fixture
+
+import (
+	"context"
+	"fmt"
+
+	"streamgpu/internal/core"
+	"streamgpu/internal/ff"
+	"streamgpu/internal/tbb"
+)
+
+func checks(p *ff.Pipeline) error {
+	if err := p.Run(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	return p.RunContext(context.Background())
+}
+
+func checksCore(t *core.ToStream, source func(emit func(any))) error {
+	return t.Run(source)
+}
+
+func forwards(p *ff.Pipeline) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- p.Run() }()
+	return errc
+}
+
+func tbbNoError(q *tbb.Pipeline, s *tbb.Scheduler) {
+	q.Run(s, 4) // tbb Run has no error result; not a runerr target
+}

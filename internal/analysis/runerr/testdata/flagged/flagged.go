@@ -1,0 +1,18 @@
+// Fixture: pipeline Run errors that are dropped.
+package fixture
+
+import (
+	"streamgpu/internal/core"
+	"streamgpu/internal/ff"
+)
+
+func ignores(p *ff.Pipeline) {
+	p.Run()       // want `not checked`
+	_ = p.Run()   // want `assigned to _`
+	go p.Run()    // want `discarded by go`
+	defer p.Run() // want `discarded by defer`
+}
+
+func ignoresCore(t *core.ToStream, source func(emit func(any))) {
+	t.Run(source) // want `not checked`
+}

@@ -1,0 +1,128 @@
+// Package stagesend defines an analyzer enforcing the drain-to-EOS design
+// inside pipeline stage bodies: a raw channel send in a stage body must be
+// the communication of a select that also watches a cancel/done channel.
+//
+// When a stream is canceled (stage failure, context expiry), downstream
+// consumers stop reading. A stage blocked on a bare `ch <- v` at that moment
+// deadlocks the drain — the precise failure mode the ff runtime's
+// cancel+drain protocol exists to avoid. Stage bodies should communicate
+// through emit/SendOut (which the runtime guards); when they must use a raw
+// channel, the send has to be
+//
+//	select {
+//	case ch <- v:
+//	case <-done:
+//	}
+//
+// The analyzer inspects function literals passed as stage bodies to the
+// core DSL (Stage, StageErr, StageWorkers), the tbb pipeline (NewFilter)
+// and the ff helpers (Source, Sink), and flags sends that are not select
+// communications guarded by a receive.
+package stagesend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamgpu/internal/analysis"
+)
+
+// stageConstructors maps package path -> function/method names whose
+// function-literal arguments are stage bodies.
+var stageConstructors = map[string]map[string]bool{
+	"streamgpu/internal/core": {"Stage": true, "StageErr": true, "StageWorkers": true},
+	"streamgpu/internal/tbb":  {"NewFilter": true},
+	"streamgpu/internal/ff":   {"Source": true, "Sink": true},
+}
+
+// Analyzer flags unguarded channel sends inside pipeline stage bodies.
+var Analyzer = &analysis.Analyzer{
+	Name: "stagesend",
+	Doc: "channel sends inside pipeline stage bodies must be select communications that also " +
+		"watch a cancel/done channel, or the stream's cancel+drain protocol can deadlock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isStageConstructor(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkStageBody(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStageConstructor reports whether call builds a pipeline stage from a
+// function body.
+func isStageConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names := stageConstructors[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// checkStageBody flags every unguarded send in one stage body, including
+// sends in closures the body creates (they run in stage context too).
+func checkStageBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	analysis.WithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if !isGuardedSelectComm(send, stack) {
+			pass.Reportf(send.Pos(), "channel send in pipeline stage body must select on the stream's cancel/done channel")
+		}
+		return true
+	})
+}
+
+// isGuardedSelectComm reports whether send is the Comm of a select clause
+// whose select also has at least one receive clause (the cancel watch).
+func isGuardedSelectComm(send *ast.SendStmt, stack []ast.Node) bool {
+	// Ancestors of a select communication: ..., SelectStmt, BlockStmt
+	// (the select's body), CommClause.
+	if len(stack) < 3 {
+		return false
+	}
+	clause, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return false
+	}
+	sel, ok := stack[len(stack)-3].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, s := range sel.Body.List {
+		cc, ok := s.(*ast.CommClause)
+		if !ok || cc == clause || cc.Comm == nil {
+			continue
+		}
+		if isReceive(cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// isReceive reports whether a select communication is a channel receive.
+func isReceive(comm ast.Stmt) bool {
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		_, ok := ast.Unparen(c.X).(*ast.UnaryExpr)
+		return ok
+	case *ast.AssignStmt:
+		return true // v := <-ch / v, ok := <-ch
+	}
+	return false
+}

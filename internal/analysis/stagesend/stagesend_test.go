@@ -1,0 +1,12 @@
+package stagesend_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/stagesend"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, stagesend.Analyzer, "testdata/flagged", "testdata/clean")
+}

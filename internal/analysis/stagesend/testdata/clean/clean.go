@@ -1,0 +1,47 @@
+// Fixture: guarded sends in stage bodies, and raw sends outside any stage —
+// nothing here should be flagged.
+package fixture
+
+import (
+	"streamgpu/internal/core"
+	"streamgpu/internal/ff"
+)
+
+func guarded(t *core.ToStream, out chan any, done <-chan struct{}) {
+	t.Stage(func(item any, emit func(any)) {
+		select {
+		case out <- item:
+		case <-done:
+		}
+	})
+}
+
+func guardedOkForm(t *core.ToStream, out chan any, done <-chan struct{}) {
+	t.Stage(func(item any, emit func(any)) {
+		select {
+		case out <- item:
+		case _, ok := <-done:
+			_ = ok
+		}
+	})
+}
+
+func emitOnly(t *core.ToStream) {
+	t.Stage(func(item any, emit func(any)) {
+		emit(item) // the runtime-guarded path; no raw send at all
+	})
+}
+
+func sinkGuarded(out chan any, done <-chan struct{}) ff.Node {
+	return ff.Sink(func(task any) {
+		select {
+		case out <- task:
+		case <-done:
+		}
+	})
+}
+
+// plainSend is not a stage body: raw sends are fine outside pipelines.
+func plainSend(out chan any, v any) {
+	out <- v
+}

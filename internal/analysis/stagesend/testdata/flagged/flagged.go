@@ -1,0 +1,45 @@
+// Fixture: raw channel sends in stage bodies with no cancel guard.
+package fixture
+
+import (
+	"streamgpu/internal/core"
+	"streamgpu/internal/ff"
+	"streamgpu/internal/tbb"
+)
+
+func unguarded(t *core.ToStream, out chan any) {
+	t.Stage(func(item any, emit func(any)) {
+		out <- item // want `select`
+	})
+}
+
+func unguardedSelect(t *core.ToStream, out chan any) {
+	t.Stage(func(item any, emit func(any)) {
+		select {
+		case out <- item: // want `select`
+		default:
+		}
+	})
+}
+
+func unguardedClosure(t *core.ToStream, out chan any) {
+	t.Stage(func(item any, emit func(any)) {
+		flush := func() {
+			out <- item // want `select`
+		}
+		flush()
+	})
+}
+
+func sink(out chan any) ff.Node {
+	return ff.Sink(func(task any) {
+		out <- task // want `select`
+	})
+}
+
+func filter(out chan any) *tbb.Filter {
+	return tbb.NewFilter(tbb.Serial, func(item any) any {
+		out <- item // want `select`
+		return item
+	})
+}

@@ -143,7 +143,11 @@ func (q *gq) copyH2D(p *des.Proc, dev *dbuf, src *gpu.HostBuf, n int64) {
 func (q *gq) record(p *des.Proc) func(*des.Proc) {
 	if q.api == CUDA {
 		e := q.rt.EventRecord(p, q.cst)
-		return func(p *des.Proc) { q.rt.EventSynchronize(p, e) }
+		return func(p *des.Proc) {
+			if err := q.rt.EventSynchronize(p, e); err != nil {
+				panic(err)
+			}
+		}
 	}
 	e := q.oq.EnqueueMarker(p)
 	return func(p *des.Proc) { opencl.WaitForEvents(p, e) }
@@ -151,7 +155,9 @@ func (q *gq) record(p *des.Proc) func(*des.Proc) {
 
 func (q *gq) finish(p *des.Proc) {
 	if q.api == CUDA {
-		q.rt.StreamSynchronize(p, q.cst)
+		if err := q.rt.StreamSynchronize(p, q.cst); err != nil {
+			panic(err)
+		}
 		return
 	}
 	q.oq.Finish(p)

@@ -33,9 +33,9 @@ func TestSameSeedSameSchedule(t *testing.T) {
 }
 
 func TestDifferentSeedsDiffer(t *testing.T) {
-	cfg := Config{TransferRate: 0.1}
-	a := New(Config{Seed: 1, TransferRate: cfg.TransferRate})
-	b := New(Config{Seed: 2, TransferRate: cfg.TransferRate})
+	const rate = 0.1
+	a := New(Config{Seed: 1, TransferRate: rate})
+	b := New(Config{Seed: 2, TransferRate: rate})
 	same := true
 	for i := 0; i < 2_000; i++ {
 		if a.Check(Transfer) != b.Check(Transfer) {

@@ -76,9 +76,33 @@ func (rt *Runtime) dev(p *des.Proc) *gpu.Device { return rt.devices[rt.current[p
 func (rt *Runtime) Device(id int) *gpu.Device { return rt.devices[id] }
 
 // Stream is a cudaStream_t analogue bound to the device that created it.
+// Completion events of asynchronous work enqueued through the facade are
+// retained on the stream, and the first failure among them becomes the
+// stream's sticky error — surfaced by the synchronization calls, the way a
+// cudaError_t from an async launch surfaces at the next cudaStreamSynchronize.
 type Stream struct {
-	s   *gpu.Stream
-	dev *gpu.Device
+	s       *gpu.Stream
+	dev     *gpu.Device
+	pending []*des.Event
+	err     error
+}
+
+// track retains an async operation's completion event until the next sync.
+func (st *Stream) track(ev *des.Event) { st.pending = append(st.pending, ev) }
+
+// fail records the stream's first error (sticky, as in CUDA).
+func (st *Stream) fail(err error) {
+	if st.err == nil && err != nil {
+		st.err = err
+	}
+}
+
+// drain waits out all retained events and returns the sticky error.
+func (st *Stream) drain(p *des.Proc) error {
+	evs := st.pending
+	st.pending = nil
+	st.fail(gpu.WaitErr(p, evs...))
+	return st.err
 }
 
 // StreamCreate creates a stream on the calling thread's current device.
@@ -126,20 +150,24 @@ func (rt *Runtime) MemcpyAsync(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu
 	default:
 		panic(fmt.Sprintf("cuda: bad memcpy kind %d", kind))
 	}
-	if !hbuf.Pinned {
-		ev.Wait(p)
+	if hbuf.Pinned {
+		st.track(ev)
+	} else {
+		// The staged transfer completes before the call returns; record any
+		// injected fault on the stream now.
+		st.fail(gpu.WaitErr(p, ev))
 	}
 }
 
 // MemcpyD2DAsync enqueues an on-device copy (cudaMemcpyDeviceToDevice):
 // always asynchronous, no host memory involved.
 func (rt *Runtime) MemcpyD2DAsync(p *des.Proc, dst *gpu.Buf, dOff int64, src *gpu.Buf, sOff, n int64, st *Stream) {
-	st.s.CopyD2D(p, dst, dOff, src, sOff, n)
+	st.track(st.s.CopyD2D(p, dst, dOff, src, sOff, n))
 }
 
 // Memcpy is the synchronous transfer (cudaMemcpy): it blocks the calling
-// thread regardless of memory kind.
-func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) {
+// thread regardless of memory kind and returns the transfer's outcome.
+func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) error {
 	var ev *des.Event
 	switch kind {
 	case MemcpyHostToDevice:
@@ -149,12 +177,15 @@ func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.Host
 	default:
 		panic(fmt.Sprintf("cuda: bad memcpy kind %d", kind))
 	}
-	ev.Wait(p)
+	err := gpu.WaitErr(p, ev)
+	st.fail(err)
+	return err
 }
 
 // LaunchKernel launches spec<<<grid>>>(args...) on st (cudaLaunchKernel).
+// Launch failures are asynchronous; they surface at the next sync call.
 func (rt *Runtime) LaunchKernel(p *des.Proc, spec *gpu.KernelSpec, g gpu.Grid, st *Stream, args ...any) {
-	st.s.Launch(p, spec.Bind(args...), g)
+	st.track(st.s.Launch(p, spec.Bind(args...), g))
 }
 
 // EventRecord records an event after all work currently enqueued on st.
@@ -162,19 +193,34 @@ func (rt *Runtime) EventRecord(p *des.Proc, st *Stream) *Event {
 	return &Event{ev: st.s.Record(p)}
 }
 
-// EventSynchronize blocks the calling thread until e has occurred.
-func (rt *Runtime) EventSynchronize(p *des.Proc, e *Event) { e.ev.Wait(p) }
+// EventSynchronize blocks the calling thread until e has occurred
+// (cudaEventSynchronize) and returns the event's outcome.
+func (rt *Runtime) EventSynchronize(p *des.Proc, e *Event) error {
+	return gpu.WaitErr(p, e.ev)
+}
 
-// StreamSynchronize blocks until all work enqueued on st has completed.
-func (rt *Runtime) StreamSynchronize(p *des.Proc, st *Stream) { st.s.Synchronize(p) }
+// StreamSynchronize blocks until all work enqueued on st has completed
+// (cudaStreamSynchronize) and returns the stream's sticky error: the first
+// failure among the async operations synchronized, including injected
+// faults that would otherwise be lost with their completion events.
+func (rt *Runtime) StreamSynchronize(p *des.Proc, st *Stream) error {
+	st.s.Synchronize(p)
+	return st.drain(p)
+}
 
 // DeviceSynchronize blocks until all streams the thread created on its
-// current device are idle. The facade tracks only streams it created.
-func (rt *Runtime) DeviceSynchronize(p *des.Proc, streams ...*Stream) {
+// current device are idle, returning the first sticky error among them.
+// The facade tracks only streams it created.
+func (rt *Runtime) DeviceSynchronize(p *des.Proc, streams ...*Stream) error {
 	d := rt.dev(p)
+	var first error
 	for _, st := range streams {
 		if st.dev == d {
 			st.s.Synchronize(p)
+			if err := st.drain(p); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
+	return first
 }

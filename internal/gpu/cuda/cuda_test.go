@@ -60,7 +60,9 @@ func TestMemcpyLaunchRoundTrip(t *testing.T) {
 		rt.MemcpyAsync(p, din, 0, in, 0, n, MemcpyHostToDevice, st)
 		rt.LaunchKernel(p, scaleSpec, gpu.Grid1D(n, 64), st, din, dout, n)
 		rt.MemcpyAsync(p, dout, 0, out, 0, n, MemcpyDeviceToHost, st)
-		rt.StreamSynchronize(p, st)
+		if err := rt.StreamSynchronize(p, st); err != nil {
+			t.Error(err)
+		}
 	})
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
@@ -142,7 +144,9 @@ func TestPinnedMemcpyAsyncReturnsImmediately(t *testing.T) {
 		start := p.Now()
 		rt.MemcpyAsync(p, d, 0, pinned, 0, n, MemcpyHostToDevice, st)
 		elapsed = p.Now() - start
-		rt.StreamSynchronize(p, st)
+		if err := rt.StreamSynchronize(p, st); err != nil {
+			t.Error(err)
+		}
 	})
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
@@ -162,7 +166,9 @@ func TestEventRecordSynchronize(t *testing.T) {
 		rt.MemcpyAsync(p, d, 0, pinned, 0, n, MemcpyHostToDevice, st)
 		ev := rt.EventRecord(p, st)
 		before := p.Now()
-		rt.EventSynchronize(p, ev)
+		if err := rt.EventSynchronize(p, ev); err != nil {
+			t.Error(err)
+		}
 		if p.Now() <= before {
 			t.Error("EventSynchronize should advance virtual time past the transfer")
 		}
@@ -193,7 +199,9 @@ func TestMultiGPURoundRobin(t *testing.T) {
 			rt.LaunchKernel(p, scaleSpec, gpu.Grid1D(n, 128), streams[g], bufs[g], bufs[g], n)
 		}
 		for g := 0; g < 2; g++ {
-			rt.StreamSynchronize(p, streams[g])
+			if err := rt.StreamSynchronize(p, streams[g]); err != nil {
+				t.Error(err)
+			}
 		}
 	})
 	if _, err := sim.Run(); err != nil {
@@ -228,7 +236,9 @@ func TestMemcpyD2DAsync(t *testing.T) {
 		rt.MemcpyAsync(p, a, 0, in, 0, n, MemcpyHostToDevice, st)
 		rt.MemcpyD2DAsync(p, b, 0, a, 0, n, st)
 		rt.MemcpyAsync(p, b, 0, out, 0, n, MemcpyDeviceToHost, st)
-		rt.StreamSynchronize(p, st)
+		if err := rt.StreamSynchronize(p, st); err != nil {
+			t.Error(err)
+		}
 	})
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)

@@ -28,6 +28,7 @@ func faultRun(t *testing.T, cfg fault.Config, nOps int) []bool {
 			t.Errorf("Malloc: %v", err)
 			return
 		}
+		defer buf.Free()
 		h := NewPinnedBuf(64)
 		for i := 0; i < nOps; i++ {
 			evC := st.CopyH2D(p, buf, 0, h, 0, 64)
@@ -68,6 +69,7 @@ func TestFaultedOpDoesNotCorruptLaterOps(t *testing.T) {
 	sim.Spawn("host", func(p *des.Proc) {
 		st := dev.NewStream("")
 		buf := mustMalloc(dev, 8)
+		defer buf.Free()
 		src := NewPinnedBuf(8)
 		dst := NewPinnedBuf(8)
 		for i := 0; i < 50; i++ {
@@ -91,6 +93,7 @@ func TestDeviceKillFailsEverythingAfter(t *testing.T) {
 	sim.Spawn("host", func(p *des.Proc) {
 		st := dev.NewStream("")
 		buf := mustMalloc(dev, 16)
+		defer buf.Free()
 		h := NewPinnedBuf(16)
 		var errs int
 		for i := 0; i < 10; i++ {
@@ -104,7 +107,10 @@ func TestDeviceKillFailsEverythingAfter(t *testing.T) {
 		if !dev.Lost() {
 			t.Error("device not marked lost after kill")
 		}
-		if _, err := dev.Malloc(16); !fault.IsDeviceLost(err) {
+		if b, err := dev.Malloc(16); !fault.IsDeviceLost(err) {
+			if b != nil {
+				b.Free()
+			}
 			t.Errorf("Malloc on lost device = %v, want device-lost", err)
 		}
 	})
@@ -121,9 +127,11 @@ func TestInjectedFaultsCostVirtualTime(t *testing.T) {
 	sim.Spawn("host", func(p *des.Proc) {
 		st := dev.NewStream("")
 		buf := mustMalloc(dev, 16)
+		defer buf.Free()
 		h := NewPinnedBuf(16)
 		start := p.Now()
-		WaitErr(p, st.CopyH2D(p, buf, 0, h, 0, 16))
+		// The op is expected to fault (KillAfterOps: 1); only its cost matters.
+		_ = WaitErr(p, st.CopyH2D(p, buf, 0, h, 0, 16))
 		elapsed = p.Now() - start
 	})
 	if _, err := sim.Run(); err != nil {

@@ -51,11 +51,16 @@ func TestFunctionalRoundTrip(t *testing.T) {
 	out := NewPinnedBuf(n)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
 		buf := mustMalloc(d, n)
+		defer buf.Free()
 		st := d.NewStream("s")
-		st.CopyH2D(p, buf, 0, host, 0, n)
-		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
-		st.CopyD2H(p, out, 0, buf, 0, n)
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, incKernel(buf, n), Grid1D(n, 128)),
+			st.CopyD2H(p, out, 0, buf, 0, n),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	for i := range out.Data {
 		want := byte(i%7) + 1
@@ -76,12 +81,17 @@ func TestStreamOrdering(t *testing.T) {
 	out := NewPinnedBuf(n)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
 		buf := mustMalloc(d, n)
+		defer buf.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, buf, 0, host, 0, n)
-		st.Launch(p, incKernel(buf, n), Grid1D(n, 32))
-		st.Launch(p, incKernel(buf, n), Grid1D(n, 32))
-		st.CopyD2H(p, out, 0, buf, 0, n)
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, incKernel(buf, n), Grid1D(n, 32)),
+			st.Launch(p, incKernel(buf, n), Grid1D(n, 32)),
+			st.CopyD2H(p, out, 0, buf, 0, n),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	for i := range out.Data {
 		if out.Data[i] != 7 {
@@ -98,10 +108,15 @@ func TestCopyOffsets(t *testing.T) {
 	out := NewPinnedBuf(4)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
 		buf := mustMalloc(d, 32)
+		defer buf.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, buf, 10, host, 4, 4) // device[10:14] = host[4:8]
-		st.CopyD2H(p, out, 0, buf, 10, 4)
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 10, host, 4, 4), // device[10:14] = host[4:8]
+			st.CopyD2H(p, out, 0, buf, 10, 4),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	for i := 0; i < 4; i++ {
 		if out.Data[i] != byte(4+i) {
@@ -121,9 +136,11 @@ func TestPinnedFasterThanPageable(t *testing.T) {
 		}
 		return runOnDevice(t, func(p *des.Proc, d *Device) {
 			buf := mustMalloc(d, n)
+			defer buf.Free()
 			st := d.NewStream("")
-			st.CopyH2D(p, buf, 0, h, 0, n)
-			st.Synchronize(p)
+			if err := WaitErr(p, st.CopyH2D(p, buf, 0, h, 0, n)); err != nil {
+				panic(err)
+			}
 		})
 	}
 	tp, tg := measure(true), measure(false)
@@ -145,16 +162,20 @@ func TestBatchingBeatsManySmallKernels(t *testing.T) {
 	small := runOnDevice(t, func(p *des.Proc, d *Device) {
 		st := d.NewStream("")
 		k := &Kernel{Name: "row", Func: func(th Thread) int64 { return work(th, rowLen) }}
+		evs := make([]*des.Event, 0, rows)
 		for r := 0; r < rows; r++ {
-			st.Launch(p, k, Grid1D(rowLen, 128))
+			evs = append(evs, st.Launch(p, k, Grid1D(rowLen, 128)))
 		}
-		st.Synchronize(p)
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	big := runOnDevice(t, func(p *des.Proc, d *Device) {
 		st := d.NewStream("")
 		k := &Kernel{Name: "batch", Func: func(th Thread) int64 { return work(th, rows*rowLen) }}
-		st.Launch(p, k, Grid1D(rows*rowLen, 128))
-		st.Synchronize(p)
+		if err := WaitErr(p, st.Launch(p, k, Grid1D(rows*rowLen, 128))); err != nil {
+			panic(err)
+		}
 	})
 	if big >= small {
 		t.Errorf("batched kernel (%v) should beat %d small kernels (%v)", big, rows, small)
@@ -171,8 +192,9 @@ func TestWarpDivergenceCost(t *testing.T) {
 	uniform := runOnDevice(t, func(p *des.Proc, d *Device) {
 		st := d.NewStream("")
 		k := &Kernel{Name: "u", Func: func(th Thread) int64 { return 10000 }}
-		st.Launch(p, k, Grid1D(n, 128))
-		st.Synchronize(p)
+		if err := WaitErr(p, st.Launch(p, k, Grid1D(n, 128))); err != nil {
+			panic(err)
+		}
 	})
 	divergent := runOnDevice(t, func(p *des.Proc, d *Device) {
 		st := d.NewStream("")
@@ -182,8 +204,9 @@ func TestWarpDivergenceCost(t *testing.T) {
 			}
 			return 100
 		}}
-		st.Launch(p, k, Grid1D(n, 128))
-		st.Synchronize(p)
+		if err := WaitErr(p, st.Launch(p, k, Grid1D(n, 128))); err != nil {
+			panic(err)
+		}
 	})
 	// Per-warp max is 10000 in both cases; times must be equal.
 	if divergent != uniform {
@@ -227,26 +250,36 @@ func TestCopyComputeOverlap(t *testing.T) {
 	host := NewPinnedBuf(n)
 	serial := runOnDevice(t, func(p *des.Proc, d *Device) {
 		buf := mustMalloc(d, n)
+		defer buf.Free()
 		st := d.NewStream("")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
-		st.CopyH2D(p, buf, 0, host, 0, n)
-		st.Launch(p, k, Grid1D(61440, 128))
-		st.CopyH2D(p, buf, 0, host, 0, n)
-		st.Launch(p, k, Grid1D(61440, 128))
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, k, Grid1D(61440, 128)),
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, k, Grid1D(61440, 128)),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	overlapped := runOnDevice(t, func(p *des.Proc, d *Device) {
 		bufA := mustMalloc(d, n)
+		defer bufA.Free()
 		bufB := mustMalloc(d, n)
+		defer bufB.Free()
 		s1 := d.NewStream("s1")
 		s2 := d.NewStream("s2")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 200000 }}
-		s1.CopyH2D(p, bufA, 0, host, 0, n)
-		s1.Launch(p, k, Grid1D(61440, 128))
-		s2.CopyH2D(p, bufB, 0, host, 0, n)
-		s2.Launch(p, k, Grid1D(61440, 128))
-		s1.Synchronize(p)
-		s2.Synchronize(p)
+		evs := []*des.Event{
+			s1.CopyH2D(p, bufA, 0, host, 0, n),
+			s1.Launch(p, k, Grid1D(61440, 128)),
+			s2.CopyH2D(p, bufB, 0, host, 0, n),
+			s2.Launch(p, k, Grid1D(61440, 128)),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	if overlapped >= serial {
 		t.Errorf("two streams (%v) should beat one stream (%v) via copy/compute overlap", overlapped, serial)
@@ -258,17 +291,19 @@ func TestComputeEngineSerializesKernels(t *testing.T) {
 	one := runOnDevice(t, func(p *des.Proc, d *Device) {
 		st := d.NewStream("")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 100000 }}
-		st.Launch(p, k, Grid1D(61440, 128))
-		st.Synchronize(p)
+		if err := WaitErr(p, st.Launch(p, k, Grid1D(61440, 128))); err != nil {
+			panic(err)
+		}
 	})
 	two := runOnDevice(t, func(p *des.Proc, d *Device) {
 		s1 := d.NewStream("s1")
 		s2 := d.NewStream("s2")
 		k := &Kernel{Name: "busy", Func: func(Thread) int64 { return 100000 }}
-		s1.Launch(p, k, Grid1D(61440, 128))
-		s2.Launch(p, k, Grid1D(61440, 128))
-		s1.Synchronize(p)
-		s2.Synchronize(p)
+		ev1 := s1.Launch(p, k, Grid1D(61440, 128))
+		ev2 := s2.Launch(p, k, Grid1D(61440, 128))
+		if err := WaitErr(p, ev1, ev2); err != nil {
+			panic(err)
+		}
 	})
 	if two < 2*one*9/10 {
 		t.Errorf("2 concurrent kernels (%v) should take ~2× one kernel (%v)", two, one)
@@ -283,7 +318,8 @@ func TestMallocAccountingAndOOM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Malloc(spec.GlobalMemBytes); err == nil {
+	if b, err := d.Malloc(spec.GlobalMemBytes); err == nil {
+		b.Free()
 		t.Fatal("over-allocation should fail")
 	}
 	b2, err := d.Malloc(spec.GlobalMemBytes / 2)
@@ -319,8 +355,11 @@ func TestCopyRangeChecked(t *testing.T) {
 	d := NewDevice(sim, testSpec(), 0)
 	sim.Spawn("host", func(p *des.Proc) {
 		buf := mustMalloc(d, 8)
+		defer buf.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, buf, 4, host, 0, 8) // overruns device buffer
+		// The overrunning copy fails the simulation at enqueue; there is no
+		// completion event outcome to wait for.
+		_ = st.CopyH2D(p, buf, 4, host, 0, 8)
 	})
 	if _, err := sim.Run(); err == nil {
 		t.Fatal("out-of-range copy should fail the simulation")
@@ -334,11 +373,16 @@ func TestStats(t *testing.T) {
 	d := NewDevice(sim, testSpec(), 0)
 	sim.Spawn("host", func(p *des.Proc) {
 		buf := mustMalloc(d, n)
+		defer buf.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, buf, 0, host, 0, n)
-		st.Launch(p, incKernel(buf, n), Grid1D(n, 128))
-		st.CopyD2H(p, host, 0, buf, 0, n)
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, incKernel(buf, n), Grid1D(n, 128)),
+			st.CopyD2H(p, host, 0, buf, 0, n),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
@@ -409,8 +453,9 @@ func TestEveryThreadRunsOnceProperty(t *testing.T) {
 				seen[id]++ // exclusive access per thread; executor may be parallel but ids are unique
 				return 1
 			}}
-			st.Launch(p, k, g)
-			st.Synchronize(p)
+			if err := WaitErr(p, st.Launch(p, k, g)); err != nil {
+				panic(err)
+			}
 		})
 		if _, err := sim.Run(); err != nil {
 			return false
@@ -489,8 +534,9 @@ func TestFullOccupancyFasterPerThread(t *testing.T) {
 		end := runOnDevice(t, func(p *des.Proc, d *Device) {
 			st := d.NewStream("")
 			k := &Kernel{Name: "w", Func: func(Thread) int64 { return 10000 }}
-			st.Launch(p, k, Grid1D(threads, 128))
-			st.Synchronize(p)
+			if err := WaitErr(p, st.Launch(p, k, Grid1D(threads, 128))); err != nil {
+				panic(err)
+			}
 		})
 		return float64(end) / float64(threads)
 	}
@@ -523,12 +569,18 @@ func TestCopyD2D(t *testing.T) {
 	out := NewPinnedBuf(64)
 	runOnDevice(t, func(p *des.Proc, d *Device) {
 		a := mustMalloc(d, 64)
+		defer a.Free()
 		b := mustMalloc(d, 64)
+		defer b.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, a, 0, host, 0, 64)
-		st.CopyD2D(p, b, 0, a, 0, 64)
-		st.CopyD2H(p, out, 0, b, 0, 64)
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, a, 0, host, 0, 64),
+			st.CopyD2D(p, b, 0, a, 0, 64),
+			st.CopyD2H(p, out, 0, b, 0, 64),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	for i := range out.Data {
 		if out.Data[i] != byte(i) {
@@ -543,9 +595,13 @@ func TestCopyD2DCrossDevicePanics(t *testing.T) {
 	d1 := NewDevice(sim, testSpec(), 1)
 	sim.Spawn("host", func(p *des.Proc) {
 		a := mustMalloc(d0, 8)
+		defer a.Free()
 		b := mustMalloc(d1, 8)
+		defer b.Free()
 		st := d0.NewStream("")
-		st.CopyD2D(p, b, 0, a, 0, 8) // wrong device: must fail
+		// The cross-device copy fails the simulation at enqueue; there is no
+		// completion event outcome to wait for.
+		_ = st.CopyD2D(p, b, 0, a, 0, 8) // wrong device: must fail
 	})
 	if _, err := sim.Run(); err == nil {
 		t.Fatal("cross-device D2D should fail the simulation")
@@ -557,16 +613,21 @@ func TestCopyD2DFasterThanPCIe(t *testing.T) {
 	host := NewPinnedBuf(n)
 	viaPCIe := runOnDevice(t, func(p *des.Proc, d *Device) {
 		a := mustMalloc(d, n)
+		defer a.Free()
 		st := d.NewStream("")
-		st.CopyH2D(p, a, 0, host, 0, n)
-		st.Synchronize(p)
+		if err := WaitErr(p, st.CopyH2D(p, a, 0, host, 0, n)); err != nil {
+			panic(err)
+		}
 	})
 	onDevice := runOnDevice(t, func(p *des.Proc, d *Device) {
 		a := mustMalloc(d, n)
+		defer a.Free()
 		b := mustMalloc(d, n)
+		defer b.Free()
 		st := d.NewStream("")
-		st.CopyD2D(p, b, 0, a, 0, n)
-		st.Synchronize(p)
+		if err := WaitErr(p, st.CopyD2D(p, b, 0, a, 0, n)); err != nil {
+			panic(err)
+		}
 	})
 	if onDevice >= viaPCIe {
 		t.Errorf("D2D (%v) should be much faster than PCIe (%v)", onDevice, viaPCIe)

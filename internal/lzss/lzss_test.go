@@ -243,16 +243,22 @@ func execKernel(t *testing.T, spec *gpu.KernelSpec, data []byte, startPos []int3
 		spBytes := make([]byte, len(startPos)*4)
 		sha1x.PutStartPos(spBytes, startPos)
 		st := dev.NewStream("")
-		st.CopyH2D(p, dIn, 0, gpu.WrapHost(data), 0, int64(len(data)))
-		st.CopyH2D(p, dSp, 0, gpu.WrapHost(spBytes), 0, int64(len(spBytes)))
+		evs := []*des.Event{
+			st.CopyH2D(p, dIn, 0, gpu.WrapHost(data), 0, int64(len(data))),
+			st.CopyH2D(p, dSp, 0, gpu.WrapHost(spBytes), 0, int64(len(spBytes))),
+		}
 		args := []any{dIn, len(data), dSp, len(startPos), dMl, dMo}
 		if pre != nil {
 			args = append(args, pre)
 		}
-		st.Launch(p, spec.Bind(args...), gpu.Grid1D(len(data), 128))
-		st.CopyD2H(p, mlHost, 0, dMl, 0, int64(len(data)*4))
-		st.CopyD2H(p, moHost, 0, dMo, 0, int64(len(data)*4))
-		st.Synchronize(p)
+		evs = append(evs,
+			st.Launch(p, spec.Bind(args...), gpu.Grid1D(len(data), 128)),
+			st.CopyD2H(p, mlHost, 0, dMl, 0, int64(len(data)*4)),
+			st.CopyD2H(p, moHost, 0, dMo, 0, int64(len(data)*4)),
+		)
+		if err := gpu.WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	end, err := sim.Run()
 	if err != nil {

@@ -96,11 +96,14 @@ func TestRowKernelMatchesCPU(t *testing.T) {
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
 		dImg := mustMalloc(dev, int64(p.Dim))
+		defer dImg.Free()
 		hImg := gpu.NewPinnedBuf(int64(p.Dim))
 		for i := 0; i < p.Dim; i++ {
-			st.Launch(proc, RowKernel.Bind(i, p, dImg, int64(160)), gpu.Grid1D(p.Dim, 128))
-			st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
-			st.Synchronize(proc)
+			evK := st.Launch(proc, RowKernel.Bind(i, p, dImg, int64(160)), gpu.Grid1D(p.Dim, 128))
+			evC := st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
+			if err := gpu.WaitErr(proc, evK, evC); err != nil {
+				panic(err)
+			}
 			copy(got[i*p.Dim:], hImg.Data)
 		}
 	})
@@ -124,11 +127,14 @@ func TestRowKernel2DGridMatchesCPU(t *testing.T) {
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
 		dImg := mustMalloc(dev, int64(p.Dim))
+		defer dImg.Free()
 		hImg := gpu.NewPinnedBuf(int64(p.Dim))
 		g := gpu.Grid{Grid: gpu.Dim3{X: (p.Dim + 1023) / 1024}, Block: gpu.Dim3{X: 32, Y: 32}}
-		st.Launch(proc, RowKernel.Bind(row, p, dImg, int64(160)), g)
-		st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
-		st.Synchronize(proc)
+		evK := st.Launch(proc, RowKernel.Bind(row, p, dImg, int64(160)), g)
+		evC := st.CopyD2H(proc, hImg, 0, dImg, 0, int64(p.Dim))
+		if err := gpu.WaitErr(proc, evK, evC); err != nil {
+			panic(err)
+		}
 		copy(got, hImg.Data)
 	})
 	if _, err := sim.Run(); err != nil {
@@ -149,6 +155,7 @@ func TestBatchKernelMatchesCPU(t *testing.T) {
 	sim.Spawn("host", func(proc *des.Proc) {
 		st := dev.NewStream("")
 		dImg := mustMalloc(dev, int64(batchSize*p.Dim))
+		defer dImg.Free()
 		hImg := gpu.NewPinnedBuf(int64(batchSize * p.Dim))
 		nBatches := (p.Dim + batchSize - 1) / batchSize
 		for b := 0; b < nBatches; b++ {
@@ -156,10 +163,12 @@ func TestBatchKernelMatchesCPU(t *testing.T) {
 			if (b+1)*batchSize > p.Dim {
 				rows = p.Dim - b*batchSize
 			}
-			st.Launch(proc, BatchKernel.Bind(b, batchSize, p, dImg, int64(160)),
+			evK := st.Launch(proc, BatchKernel.Bind(b, batchSize, p, dImg, int64(160)),
 				gpu.Grid1D(rows*p.Dim, 128))
-			st.CopyD2H(proc, hImg, 0, dImg, 0, int64(rows*p.Dim))
-			st.Synchronize(proc)
+			evC := st.CopyD2H(proc, hImg, 0, dImg, 0, int64(rows*p.Dim))
+			if err := gpu.WaitErr(proc, evK, evC); err != nil {
+				panic(err)
+			}
 			copy(got[b*batchSize*p.Dim:], hImg.Data[:rows*p.Dim])
 		}
 	})
@@ -286,9 +295,11 @@ func TestCachedKernelsMatchDirect(t *testing.T) {
 				out := make([]byte, n)
 				sim.Spawn("host", func(proc *des.Proc) {
 					dImg := mustMalloc(dev, n)
+					defer dImg.Free()
 					st := dev.NewStream("")
-					st.Launch(proc, spec.Bind(args(dImg)...), v.grid)
-					st.Synchronize(proc)
+					if err := gpu.WaitErr(proc, st.Launch(proc, spec.Bind(args(dImg)...), v.grid)); err != nil {
+						panic(err)
+					}
 					copy(out, dImg.Bytes())
 				})
 				end, err := sim.Run()

@@ -132,17 +132,24 @@ func TestKernelHashesBlocks(t *testing.T) {
 	out := gpu.NewPinnedBuf(int64(len(startPos) * Size))
 	sim.Spawn("host", func(p *des.Proc) {
 		dIn := mustMalloc(dev, int64(len(batch)))
+		defer dIn.Free()
 		dSp := mustMalloc(dev, int64(len(startPos)*4))
+		defer dSp.Free()
 		dOut := mustMalloc(dev, int64(len(startPos)*Size))
+		defer dOut.Free()
 		hIn := gpu.WrapHost(batch)
 		spBytes := make([]byte, len(startPos)*4)
 		PutStartPos(spBytes, startPos)
 		st := dev.NewStream("")
-		st.CopyH2D(p, dIn, 0, hIn, 0, int64(len(batch)))
-		st.CopyH2D(p, dSp, 0, gpu.WrapHost(spBytes), 0, int64(len(spBytes)))
-		st.Launch(p, Kernel.Bind(dIn, dSp, len(startPos), len(batch), dOut), gpu.Grid1D(len(startPos), 64))
-		st.CopyD2H(p, out, 0, dOut, 0, int64(len(out.Data)))
-		st.Synchronize(p)
+		evs := []*des.Event{
+			st.CopyH2D(p, dIn, 0, hIn, 0, int64(len(batch))),
+			st.CopyH2D(p, dSp, 0, gpu.WrapHost(spBytes), 0, int64(len(spBytes))),
+			st.Launch(p, Kernel.Bind(dIn, dSp, len(startPos), len(batch), dOut), gpu.Grid1D(len(startPos), 64)),
+			st.CopyD2H(p, out, 0, dOut, 0, int64(len(out.Data))),
+		}
+		if err := gpu.WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
 	})
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
