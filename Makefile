@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race verify
+.PHONY: build vet lint test race bench-json verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ test:
 # new concurrency never lands unchecked.
 race:
 	$(GO) test -race ./...
+
+# bench-json emits the Fig. 1 table as machine-readable JSONL (one row per
+# optimization step, including the utilization columns) into BENCH_fig1.json.
+# -niter 200 keeps it a short slice, not a publication-grade run.
+bench-json:
+	$(GO) run ./cmd/figures -fig 1 -json -niter 200 > BENCH_fig1.json
 
 # verify mirrors .github/workflows/ci.yml exactly.
 verify: build vet lint test race

@@ -23,6 +23,7 @@ import (
 	"streamgpu/internal/core"
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func main() {
 	faultTransfer := flag.Float64("fault-transfer", 0, "gpu: transient transfer fault rate")
 	faultKernel := flag.Float64("fault-kernel", 0, "gpu: transient kernel fault rate")
 	faultKill := flag.Int("fault-kill-after", 0, "gpu: kill the device after N operations")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (pipeline and GPU metrics)")
+	traceOut := flag.String("trace-out", "", "write per-batch stage enter/exit events as JSON to this file (SPar compress path)")
 	flag.Parse()
 
 	if *graph {
@@ -67,6 +70,16 @@ func main() {
 	if *compress {
 		var st dedup.Stats
 		opt := dedup.Options{BatchSize: *batch, Workers: *workers}
+		if *metricsAddr != "" {
+			opt.Metrics = telemetry.New()
+			srv, err := telemetry.Serve(*metricsAddr, opt.Metrics)
+			check(err)
+			defer srv.Close()
+			fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr)
+		}
+		if *traceOut != "" {
+			opt.Trace = telemetry.NewStreamTracer(0)
+		}
 		switch {
 		case *seq:
 			st, err = dedup.CompressSeq(in, outF, opt)
@@ -94,6 +107,10 @@ func main() {
 			st.RawBytes, st.WrittenBytes, st.Ratio(), el,
 			float64(st.RawBytes)/el.Seconds()/1e6)
 		fmt.Printf("blocks: %d unique, %d duplicate\n", st.UniqueBlocks, st.DupBlocks)
+		if *traceOut != "" {
+			check(telemetry.WriteTraceFile(*traceOut, nil, opt.Trace))
+			fmt.Printf("wrote %d trace events to %s\n", len(opt.Trace.Events()), *traceOut)
+		}
 		return
 	}
 	if *seq {

@@ -5,17 +5,29 @@
 //	figures -fig 1     # the Mandelbrot optimization ladder
 //	figures -fig 4     # programming-model comparison (1 and 2 GPUs)
 //	figures -fig 5     # Dedup throughput over the three datasets
+//	figures -fig 1 -json > BENCH_fig1.json   # machine-readable rows
+//	figures -fig 1 -metrics-addr :9090       # live /metrics while running
 //
 // Experiments run in virtual time on the simulated Titan XP pair; see
 // DESIGN.md for the methodology and EXPERIMENTS.md for paper-vs-measured.
+// With -json each figure row becomes one JSON Lines record (figure, name,
+// unit, mean, stddev, speedup, extra columns such as the Fig. 1 utilization
+// measures); tables otherwise render as text. -metrics-addr serves the
+// telemetry registry (Prometheus text + JSON + pprof) for the duration of
+// the run; GPU durations exposed there are virtual seconds.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"streamgpu/internal/bench"
+	"streamgpu/internal/stats"
+	"streamgpu/internal/telemetry"
 	"streamgpu/internal/workload"
 )
 
@@ -25,12 +37,55 @@ func main() {
 	dedupScale := flag.Float64("dedup-scale", 1.0/64, "dataset scale for Fig. 5 (1.0 = the paper's 185/816/202 MB)")
 	batchBytes := flag.Int("batch-bytes", 128*1024, "Dedup batch size in bytes (the paper's 1 MiB at scale 1.0)")
 	niter := flag.Int("niter", 1000, "physically computed Mandelbrot iterations (WorkScale restores the paper's 200k)")
+	jsonOut := flag.Bool("json", false, "emit figure rows as JSON Lines on stdout instead of tables")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
+	selfCheck := flag.Bool("metrics-selfcheck", false, "after the run, scrape the own /metrics endpoint and fail unless it exposes GPU metrics")
+	traceOut := flag.String("trace-out", "", "write the harness span trace (one span per figure row) to this file")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	if *niter > 0 {
 		cfg.Params.Niter = *niter
 		cfg.Cal.WorkScale = 200000 / *niter
+	}
+
+	var srv *telemetry.Server
+	if *metricsAddr != "" || *selfCheck {
+		cfg.Telemetry = telemetry.New()
+		addr := *metricsAddr
+		if addr == "" {
+			addr = "127.0.0.1:0" // selfcheck without an explicit address
+		}
+		var err error
+		srv, err = telemetry.Serve(addr, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(0)
+	}
+
+	// emit renders one finished table, honouring -json, and records a span
+	// per row so -trace-out shows where the harness spent its wall time.
+	emit := func(id string, t *stats.Table) {
+		if tracer != nil {
+			sp := tracer.Start(id)
+			sp.Annotate("rows", fmt.Sprint(len(t.Rows)))
+			sp.End()
+		}
+		if *jsonOut {
+			if err := t.WriteJSON(os.Stdout, id); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(t)
 	}
 
 	wantMandel := *fig == "all" || *fig == "1" || *fig == "4" || *ablation
@@ -44,28 +99,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "computing Mandelbrot iteration cache...")
 		pr := bench.NewPrep(cfg)
 		if *fig == "all" || *fig == "1" {
-			fmt.Println(pr.Fig1())
+			emit("fig1", pr.Fig1())
 		}
 		if *fig == "all" || *fig == "4" {
-			fmt.Println(pr.Fig4(1))
-			fmt.Println(pr.Fig4(2))
+			emit("fig4-1gpu", pr.Fig4(1))
+			emit("fig4-2gpu", pr.Fig4(2))
 		}
 		if *ablation {
-			fmt.Println(pr.SweepBatchRows(bench.CUDA, []int{1, 2, 4, 8, 16, 32, 64, 128}))
-			fmt.Println(pr.SweepWorkers(bench.SPar, []int{1, 2, 4, 8, 16, 19, 24}))
+			emit("sweep-batch-rows", pr.SweepBatchRows(bench.CUDA, []int{1, 2, 4, 8, 16, 32, 64, 128}))
+			emit("sweep-workers", pr.SweepWorkers(bench.SPar, []int{1, 2, 4, 8, 16, 19, 24}))
 		}
 	}
 	if *ablation {
 		spec := workload.Spec{Kind: workload.Linux, Size: 4 << 20, Seed: 5}
 		v := bench.DedupVariant{Label: "SPar+CUDA batch", API: bench.CUDA, Batched: true, Spaces: 1, GPUs: 1}
-		fmt.Println(bench.SweepDedupBatchSize(spec, cfg.Cal, v,
+		emit("sweep-dedup-batch", bench.SweepDedupBatchSize(spec, cfg.Cal, v,
 			[]int{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}))
 	}
 	if wantDedup {
 		for _, spec := range workload.PaperSpecs(*dedupScale) {
 			fmt.Fprintf(os.Stderr, "preparing dataset %s (%.1f MB)...\n", spec.Kind, float64(spec.Size)/1e6)
 			dp := bench.NewDedupPrep(spec, *batchBytes)
-			fmt.Println(bench.Fig5(dp, cfg.Cal))
+			emit("fig5-"+spec.Kind.String(), bench.Fig5(dp, cfg.Cal))
 		}
 	}
+
+	if *selfCheck {
+		if err := scrapeSelf(srv.Addr); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: metrics selfcheck failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "metrics selfcheck ok")
+	}
+	if *traceOut != "" {
+		if err := telemetry.WriteTraceFile(*traceOut, tracer, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
+	}
+}
+
+// scrapeSelf fetches the process's own metrics endpoint and verifies the GPU
+// instrumentation actually exported something — the CI smoke test for the
+// whole telemetry path.
+func scrapeSelf(addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for _, want := range []string{"gpu_kernels_launched_total", "gpu_h2d_bytes_total"} {
+		if !bytes.Contains(body, []byte(want)) {
+			return fmt.Errorf("exposition missing %s", want)
+		}
+	}
+	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"streamgpu/internal/fault"
 	"streamgpu/internal/mandel"
 	"streamgpu/internal/tbb"
+	"streamgpu/internal/telemetry"
 )
 
 func main() {
@@ -37,11 +38,28 @@ func main() {
 	faultKernel := flag.Float64("fault-kernel", 0, "gpu runtime: transient kernel fault rate on device 0")
 	faultKill := flag.Int("fault-kill-after", 0, "gpu runtime: kill device 0 after N operations")
 	out := flag.String("o", "", "write the image as PGM to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (per-stage pipeline and GPU metrics)")
+	traceOut := flag.String("trace-out", "", "write per-item stage enter/exit events as JSON to this file (spar and ff runtimes)")
 	flag.Parse()
 
 	p := mandel.Params{Dim: *dim, Niter: *niter, InitA: -2.0, InitB: -1.25, Range: 2.5}
 	if *tokens <= 0 {
 		*tokens = 2 * *workers
+	}
+
+	var obs mandel.Observer
+	if *metricsAddr != "" {
+		obs.Metrics = telemetry.New()
+		srv, err := telemetry.Serve(*metricsAddr, obs.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mandelstream: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		obs.Trace = telemetry.NewStreamTracer(0)
 	}
 
 	start := time.Now()
@@ -51,15 +69,16 @@ func main() {
 	case "seq":
 		im, _ = mandel.RunSeq(p)
 	case "spar":
-		im, err = runSPar(p, *workers, *timeout)
+		im, err = runSPar(p, *workers, *timeout, obs)
 	case "ff":
-		im, err = mandel.RunFF(p, *workers)
+		im, err = mandel.RunFFObserved(p, *workers, obs)
 	case "tbb":
 		s := tbb.NewScheduler(*workers)
 		defer s.Shutdown()
-		im = mandel.RunTBB(p, s, *tokens)
+		s.SetTelemetry(obs.Metrics)
+		im = mandel.RunTBBObserved(p, s, *tokens, obs)
 	case "gpu":
-		cfg := mandel.FTConfig{NGPUs: *gpus, BatchSize: *gpuBatch}
+		cfg := mandel.FTConfig{NGPUs: *gpus, BatchSize: *gpuBatch, Telemetry: obs.Metrics}
 		if *faultTransfer > 0 || *faultKernel > 0 || *faultKill > 0 {
 			cfg.Faults = []fault.Config{{
 				Seed:         *faultSeed,
@@ -87,6 +106,14 @@ func main() {
 		*rt, *dim, *dim, *niter, *workers, elapsed,
 		float64(*dim)*float64(*dim)/elapsed.Seconds()/1e6)
 
+	if *traceOut != "" {
+		if err := telemetry.WriteTraceFile(*traceOut, nil, obs.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "mandelstream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(obs.Trace.Events()), *traceOut)
+	}
+
 	if *out != "" {
 		if err := writePGM(*out, im); err != nil {
 			fmt.Fprintf(os.Stderr, "mandelstream: %v\n", err)
@@ -97,13 +124,14 @@ func main() {
 }
 
 // runSPar runs the SPar pipeline, optionally under a timeout.
-func runSPar(p mandel.Params, workers int, timeout time.Duration) (*mandel.Image, error) {
-	if timeout <= 0 {
-		return mandel.RunSPar(p, workers)
+func runSPar(p mandel.Params, workers int, timeout time.Duration, obs mandel.Observer) (*mandel.Image, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return mandel.RunSParContext(ctx, p, workers)
+	return mandel.RunSParObserved(ctx, p, workers, obs)
 }
 
 // writePGM saves the frame as a binary PGM (P5).

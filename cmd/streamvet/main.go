@@ -7,6 +7,8 @@
 //	runerr     ff/core/tbb Run/RunContext errors must be checked
 //	stagesend  stage-body channel sends must select on cancel/done
 //	faultseed  fault.Config in tests must set Seed
+//	metriclabel  telemetry metric registrations must use non-empty,
+//	           kind-consistent names and one call site per series
 //
 // Usage:
 //
@@ -25,6 +27,7 @@ import (
 	"streamgpu/internal/analysis/faultseed"
 	"streamgpu/internal/analysis/gpufree"
 	"streamgpu/internal/analysis/gpuwait"
+	"streamgpu/internal/analysis/metriclabel"
 	"streamgpu/internal/analysis/runerr"
 	"streamgpu/internal/analysis/stagesend"
 )
@@ -34,6 +37,7 @@ var suite = []*analysis.Analyzer{
 	faultseed.Analyzer,
 	gpufree.Analyzer,
 	gpuwait.Analyzer,
+	metriclabel.Analyzer,
 	runerr.Analyzer,
 	stagesend.Analyzer,
 }

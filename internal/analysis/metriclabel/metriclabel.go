@@ -1,0 +1,146 @@
+// Package metriclabel defines an analyzer guarding the telemetry registry's
+// naming contract: instrument registrations (Registry.Counter, Gauge,
+// GaugeFunc, Histogram) must use non-empty metric names, must not register
+// one name under two different instrument kinds, and must not register the
+// same (name, labels) series from more than one call site.
+//
+// The registry enforces the first two at runtime by panicking — the
+// exposition format cannot represent an unnamed metric or a family of mixed
+// kinds — but a panic surfaces only on the code path that actually runs with
+// telemetry attached, which instrumented-by-default code rarely exercises
+// under test. The third is legal (the registry is get-or-create) but almost
+// always a copy-paste bug: two call sites silently share one series, and
+// their increments become indistinguishable. Registering one family from
+// several sites with *distinct* label literals is the normal idiom
+// (op="read" / op="write") and is accepted.
+//
+// Only string-literal names are checked; computed names are skipped. Test
+// files are exempt: tests legitimately re-derive instruments through the
+// same get-or-create API to read values back.
+package metriclabel
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"streamgpu/internal/analysis"
+)
+
+const telemetryPkg = "streamgpu/internal/telemetry"
+
+// Analyzer flags empty, kind-conflicting, and duplicate metric registrations.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc:  "telemetry metric registrations must use non-empty, kind-consistent names and one call site per (name, labels) series",
+	Run:  run,
+}
+
+// kindOf maps a Registry method to the exposition kind it registers.
+var kindOf = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+// site is one literal-named registration call.
+type site struct {
+	pos    token.Pos
+	kind   string
+	labels string // rendered labels argument, "" when absent/nil
+}
+
+func run(pass *analysis.Pass) error {
+	seen := make(map[string][]site) // metric name -> registrations in order
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			kind, ok := kindOf[fn.Name()]
+			if !ok {
+				return true
+			}
+			recv := analysis.ReceiverNamed(fn)
+			if recv == nil || recv.Obj().Name() != "Registry" ||
+				recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != telemetryPkg {
+				return true
+			}
+			metric, ok := literalName(call)
+			if !ok {
+				return true // computed name: out of scope
+			}
+			if metric == "" {
+				pass.Reportf(call.Pos(), "empty metric name in %s registration", kind)
+				return true
+			}
+			s := site{pos: call.Pos(), kind: kind, labels: renderLabels(pass, call, fn.Name())}
+			for _, prev := range seen[metric] {
+				if prev.kind != s.kind {
+					pass.Reportf(call.Pos(), "metric %q registered as %s at %s but as %s here: the registry panics on kind mismatch",
+						metric, prev.kind, pass.Fset.Position(prev.pos), s.kind)
+					break
+				}
+				if prev.labels == s.labels {
+					pass.Reportf(call.Pos(), "duplicate registration of metric %q with identical labels (first at %s): both call sites share one series",
+						metric, pass.Fset.Position(prev.pos))
+					break
+				}
+			}
+			seen[metric] = append(seen[metric], s)
+			return true
+		})
+	}
+	return nil
+}
+
+// literalName extracts the metric-name argument when it is a string literal.
+func literalName(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// renderLabels prints the labels argument back to source text, the identity
+// the duplicate check compares. Histogram's labels are its third argument
+// (after the bucket bounds); the other methods take them second.
+func renderLabels(pass *analysis.Pass, call *ast.CallExpr, method string) string {
+	idx := 1
+	if method == "Histogram" {
+		idx = 2
+	}
+	if idx >= len(call.Args) {
+		return ""
+	}
+	arg := ast.Unparen(call.Args[idx])
+	if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, arg); err != nil {
+		return ""
+	}
+	return buf.String()
+}

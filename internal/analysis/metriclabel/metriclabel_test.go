@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/metriclabel"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, metriclabel.Analyzer, "testdata/flagged", "testdata/clean")
+}

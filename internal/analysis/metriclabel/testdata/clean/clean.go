@@ -1,0 +1,19 @@
+// Fixture: registration patterns the analyzer must accept.
+package fixture
+
+import "streamgpu/internal/telemetry"
+
+func register(reg *telemetry.Registry, name string) *telemetry.Counter {
+	// One family, distinct series per call site: the normal idiom.
+	reg.Counter("ops_total", telemetry.Labels{"op": "read"})
+	reg.Counter("ops_total", telemetry.Labels{"op": "write"})
+
+	// Gauge and GaugeFunc are the same exposition kind.
+	reg.Gauge("queue_depth", telemetry.Labels{"queue": "in"})
+	reg.GaugeFunc("queue_depth", telemetry.Labels{"queue": "out"}, func() float64 { return 0 })
+
+	reg.Histogram("svc_seconds", []float64{0.001, 0.1}, nil)
+
+	// Computed names are out of scope.
+	return reg.Counter(name, nil)
+}

@@ -1,0 +1,17 @@
+// Fixture: test files are exempt — tests re-derive instruments through the
+// get-or-create API to read values back.
+package fixture
+
+import (
+	"testing"
+
+	"streamgpu/internal/telemetry"
+)
+
+func TestReadBack(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("ops_total", telemetry.Labels{"op": "read"}).Inc()
+	if v := reg.Counter("ops_total", telemetry.Labels{"op": "read"}).Value(); v != 1 {
+		t.Fatal(v)
+	}
+}

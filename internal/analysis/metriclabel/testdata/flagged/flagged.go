@@ -1,0 +1,21 @@
+// Fixture: telemetry registrations with empty, kind-conflicting, or
+// duplicated metric names.
+package fixture
+
+import "streamgpu/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("", nil) // want `empty metric name`
+
+	reg.Counter("jobs_total", nil)
+	reg.Gauge("jobs_total", nil) // want `kind mismatch`
+
+	reg.Counter("items_total", telemetry.Labels{"stage": "a"})
+	reg.Counter("items_total", telemetry.Labels{"stage": "a"}) // want `duplicate registration`
+
+	reg.Histogram("svc_seconds", nil, nil)
+	reg.Counter("svc_seconds", nil) // want `kind mismatch`
+
+	reg.GaugeFunc("depth", nil, func() float64 { return 0 })
+	reg.GaugeFunc("depth", nil, func() float64 { return 1 }) // want `duplicate registration`
+}

@@ -17,6 +17,7 @@ import (
 	"streamgpu/internal/des"
 	"streamgpu/internal/gpu"
 	"streamgpu/internal/mandel"
+	"streamgpu/internal/telemetry"
 )
 
 // Calibration fixes the virtual-time cost model. Defaults are calibrated so
@@ -90,6 +91,12 @@ type Config struct {
 	// 19 CPU-only, 10 with GPUs).
 	CPUWorkers int
 	GPUWorkers int
+	// Telemetry, when set, is attached to every simulated device the
+	// harness creates, so a figure run exposes its GPU engine metrics
+	// (transfer bytes/durations, kernel latencies, outstanding-op gauges)
+	// over the -metrics-addr endpoint. Durations recorded there are
+	// *virtual* seconds. nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig models the paper's setup at a host-affordable physical
@@ -168,11 +175,13 @@ func (pr *Prep) displayCost(rows int) des.Duration {
 	return des.Duration(bytes*c.DisplayNsPerByte + float64(rows)*c.DisplayPerRowNs)
 }
 
-// newDevices builds n Titan XP models on sim.
-func newDevices(sim *des.Sim, n int) []*gpu.Device {
+// newDevices builds n Titan XP models on sim, instrumented with reg when
+// non-nil.
+func newDevices(sim *des.Sim, n int, reg *telemetry.Registry) []*gpu.Device {
 	devs := make([]*gpu.Device, n)
 	for i := range devs {
 		devs[i] = gpu.NewDevice(sim, gpu.TitanXPSpec(), i)
+		devs[i].SetTelemetry(reg)
 	}
 	return devs
 }

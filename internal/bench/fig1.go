@@ -166,36 +166,44 @@ func (q *gq) finish(p *des.Proc) {
 // Fig1 regenerates the Mandelbrot optimization ladder: sequential, naive
 // one-kernel-per-row, the 2-D grid misstep, 32-row batches, overlapped
 // transfers with 2 and 4 memory spaces, and the two-GPU configurations.
+// Every GPU row carries the utilization columns (kernel_util, copy_util,
+// overlap), so the table shows *why* each optimization step pays: batching
+// raises kernel utilization, extra memory spaces turn copy time into
+// overlap.
 func (pr *Prep) Fig1() *stats.Table {
 	t := &stats.Table{
 		Title: "Fig. 1 — Optimizing Mandelbrot Streaming (exec time, speedup vs sequential)",
 		Unit:  "s",
 	}
 	seq := pr.SeqTime().Seconds()
-	add := func(label string, sec float64) {
-		t.Add(stats.Row{Label: label, Value: sec, Speedup: seq / sec})
-	}
 	t.Add(stats.Row{Label: "Sequential", Value: seq, Speedup: 1})
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" naive", pr.RunRowPerKernel(api, false).Seconds())
+		end, u := pr.RunRowPerKernelUtil(api, false)
+		addUtil(t, string(api)+" naive", end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" 2D grid", pr.RunRowPerKernel(api, true).Seconds())
+		end, u := pr.RunRowPerKernelUtil(api, true)
+		addUtil(t, string(api)+" 2D grid", end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(fmt.Sprintf("%s batch %d", api, pr.Cfg.BatchRows), pr.RunBatched(api, 1, 1).Seconds())
+		end, u := pr.RunBatchedUtil(api, 1, 1)
+		addUtil(t, fmt.Sprintf("%s batch %d", api, pr.Cfg.BatchRows), end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" 2x mem spaces", pr.RunBatched(api, 2, 1).Seconds())
+		end, u := pr.RunBatchedUtil(api, 2, 1)
+		addUtil(t, string(api)+" 2x mem spaces", end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" 4x mem spaces", pr.RunBatched(api, 4, 1).Seconds())
+		end, u := pr.RunBatchedUtil(api, 4, 1)
+		addUtil(t, string(api)+" 4x mem spaces", end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" 2 GPUs 2x mem", pr.RunBatched(api, 2, 2).Seconds())
+		end, u := pr.RunBatchedUtil(api, 2, 2)
+		addUtil(t, string(api)+" 2 GPUs 2x mem", end.Seconds(), seq, u)
 	}
 	for _, api := range []API{CUDA, OpenCL} {
-		add(string(api)+" 2 GPUs 4x mem", pr.RunBatched(api, 4, 2).Seconds())
+		end, u := pr.RunBatchedUtil(api, 4, 2)
+		addUtil(t, string(api)+" 2 GPUs 4x mem", end.Seconds(), seq, u)
 	}
 	return t
 }
@@ -205,9 +213,16 @@ func (pr *Prep) Fig1() *stats.Table {
 // memory — plain malloc'd buffers). twoD selects the (32,32)-block
 // configuration.
 func (pr *Prep) RunRowPerKernel(api API, twoD bool) des.Time {
+	end, _ := pr.RunRowPerKernelUtil(api, twoD)
+	return end
+}
+
+// RunRowPerKernelUtil is RunRowPerKernel returning the device utilization
+// alongside the makespan.
+func (pr *Prep) RunRowPerKernelUtil(api API, twoD bool) (des.Time, Util) {
 	p := pr.Cfg.Params
 	sim := des.New()
-	devs := newDevices(sim, 1)
+	devs := newDevices(sim, 1, pr.Cfg.Telemetry)
 	a := newAPICtx(api, sim, devs)
 	spec := pr.Cache.RowKernel()
 	grid := gpu.Grid1D(p.Dim, 128)
@@ -230,7 +245,7 @@ func (pr *Prep) RunRowPerKernel(api API, twoD bool) des.Time {
 	if err != nil {
 		panic(err)
 	}
-	return end
+	return end, utilOf(devs, end)
 }
 
 // RunBatched models the batched variants: nBufs memory spaces round-robin
@@ -239,6 +254,13 @@ func (pr *Prep) RunRowPerKernel(api API, twoD bool) des.Time {
 // with more buffers transfers are asynchronous on page-locked memory and
 // overlap with the next batch's compute, the §IV-A optimization.
 func (pr *Prep) RunBatched(api API, nBufs, nGPUs int) des.Time {
+	end, _ := pr.RunBatchedUtil(api, nBufs, nGPUs)
+	return end
+}
+
+// RunBatchedUtil is RunBatched returning the device utilization alongside
+// the makespan.
+func (pr *Prep) RunBatchedUtil(api API, nBufs, nGPUs int) (des.Time, Util) {
 	p := pr.Cfg.Params
 	rows := pr.Cfg.BatchRows
 	nBatches := (p.Dim + rows - 1) / rows
@@ -247,7 +269,7 @@ func (pr *Prep) RunBatched(api API, nBufs, nGPUs int) des.Time {
 	spec := pr.Cache.BatchKernel()
 
 	sim := des.New()
-	devs := newDevices(sim, nGPUs)
+	devs := newDevices(sim, nGPUs, pr.Cfg.Telemetry)
 	a := newAPICtx(api, sim, devs)
 	sim.Spawn("host", func(proc *des.Proc) {
 		type space struct {
@@ -303,5 +325,5 @@ func (pr *Prep) RunBatched(api API, nBufs, nGPUs int) des.Time {
 	if err != nil {
 		panic(err)
 	}
-	return end
+	return end, utilOf(devs, end)
 }

@@ -117,7 +117,7 @@ func (pr *Prep) RunComboPipeline(fw Framework, api API, gpus, workers int) des.T
 	spec := pr.Cache.BatchKernel()
 
 	sim := des.New()
-	devs := newDevices(sim, gpus)
+	devs := newDevices(sim, gpus, pr.Cfg.Telemetry)
 	a := newAPICtx(api, sim, devs)
 	var tokens *des.Resource
 	if cap := tokenCap(fw, workers, true); cap > 0 {

@@ -198,7 +198,9 @@ type gpuBatchState struct {
 // asynchronous), so the 2×-memory-space optimization pays off.
 func (dp *DedupPrep) RunGPU(cal Calibration, v DedupVariant) des.Time {
 	sim := des.New()
-	devs := newDevices(sim, v.GPUs)
+	// The Fig. 5 harness runs uninstrumented; GPU Dedup telemetry lives on
+	// the real pipeline in internal/dedup (cmd/dedup -metrics-addr).
+	devs := newDevices(sim, v.GPUs, nil)
 	a := newAPICtx(v.API, sim, devs)
 	// Dedup's host buffers are realloc-managed and therefore pageable for
 	// both APIs (§V-B); what differs is that CUDA's MemcpyAsync degrades to

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"streamgpu/internal/des"
+	"streamgpu/internal/gpu"
+	"streamgpu/internal/stats"
+)
+
+// Util summarizes how well a configuration keeps the GPU engines fed over
+// one run: the fraction of the makespan the compute engine was busy, the
+// fraction a PCIe copy engine was busy, and the fraction during which copies
+// and compute ran *simultaneously* — the copy/compute overlap the paper's
+// 2×/4×-memory-space optimization exists to create. All fractions are
+// averages over the run's devices.
+type Util struct {
+	KernelUtil float64
+	CopyUtil   float64
+	Overlap    float64
+}
+
+// utilOf derives Util from the device stats of a finished run.
+func utilOf(devs []*gpu.Device, makespan des.Time) Util {
+	if len(devs) == 0 || makespan <= 0 {
+		return Util{}
+	}
+	span := makespan.Seconds()
+	var u Util
+	for _, d := range devs {
+		st := d.Stats()
+		u.KernelUtil += st.KernelBusy.Seconds() / span
+		u.CopyUtil += (st.CopyBusyH2D + st.CopyBusyD2H).Seconds() / span
+		u.Overlap += st.OverlapBusy.Seconds() / span
+	}
+	n := float64(len(devs))
+	u.KernelUtil /= n
+	u.CopyUtil /= n
+	u.Overlap /= n
+	return u
+}
+
+// Extra renders the utilization as a Row's auxiliary columns.
+func (u Util) Extra() map[string]float64 {
+	return map[string]float64{
+		"kernel_util": u.KernelUtil,
+		"copy_util":   u.CopyUtil,
+		"overlap":     u.Overlap,
+	}
+}
+
+// addUtil appends a figure row carrying the utilization columns.
+func addUtil(t *stats.Table, label string, sec, seq float64, u Util) {
+	t.Add(stats.Row{Label: label, Value: sec, Speedup: seq / sec, Extra: u.Extra()})
+}

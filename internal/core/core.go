@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"streamgpu/internal/ff"
+	"streamgpu/internal/telemetry"
 )
 
 // StageFunc is a stage body: consume one stream item, emit zero or more.
@@ -79,14 +80,17 @@ type StageDef struct {
 type Option func(*options)
 
 type options struct {
-	name      string
-	replicate int
-	inputs    []string
-	outputs   []string
-	ordered   bool
-	queueCap  int
-	onDemand  bool
-	offload   bool
+	name        string
+	replicate   int
+	inputs      []string
+	outputs     []string
+	ordered     bool
+	queueCap    int
+	onDemand    bool
+	offload     bool
+	metrics     *telemetry.Registry
+	metricsName string
+	trace       *telemetry.StreamTracer
 }
 
 // Replicate sets the stage's parallelism degree (the spar::Replicate
@@ -123,15 +127,36 @@ func QueueCap(n int) Option { return func(o *options) { o.queueCap = n } }
 // (SPar's -spar_ondemand flag).
 func OnDemand() Option { return func(o *options) { o.onDemand = true } }
 
+// Telemetry attaches a metrics registry to the region: the generated graph
+// reports per-stage item counters, service-time histograms and queue-depth
+// gauges into reg, labelled {pipeline=name, stage=<source|stage name>}. A
+// region option; nil reg disables metrics.
+func Telemetry(reg *telemetry.Registry, name string) Option {
+	return func(o *options) {
+		o.metrics = reg
+		o.metricsName = name
+	}
+}
+
+// Trace attaches a per-item stream tracer to the region: every stage of the
+// generated graph records item enter/exit timestamps into tr. A region
+// option; nil tr disables tracing.
+func Trace(tr *telemetry.StreamTracer) Option {
+	return func(o *options) { o.trace = tr }
+}
+
 // ToStream is an annotated streaming region under construction: the
 // spar::ToStream attribute plus its chain of Stages.
 type ToStream struct {
-	inputs   []string
-	stages   []*StageDef
-	ordered  bool
-	onDemand bool
-	queueCap int
-	err      error
+	inputs      []string
+	stages      []*StageDef
+	ordered     bool
+	onDemand    bool
+	queueCap    int
+	metrics     *telemetry.Registry
+	metricsName string
+	trace       *telemetry.StreamTracer
+	err         error
 }
 
 // NewToStream opens a streaming region. Options Input, Ordered, OnDemand
@@ -142,10 +167,13 @@ func NewToStream(opts ...Option) *ToStream {
 		op(&o)
 	}
 	return &ToStream{
-		inputs:   o.inputs,
-		ordered:  o.ordered,
-		onDemand: o.onDemand,
-		queueCap: o.queueCap,
+		inputs:      o.inputs,
+		ordered:     o.ordered,
+		onDemand:    o.onDemand,
+		queueCap:    o.queueCap,
+		metrics:     o.metrics,
+		metricsName: o.metricsName,
+		trace:       o.trace,
 	}
 }
 
@@ -371,6 +399,19 @@ func (t *ToStream) RunContext(ctx context.Context, source func(emit func(any))) 
 	pipe := ff.NewPipeline(stages...)
 	if t.queueCap > 0 {
 		pipe.SetQueueCap(t.queueCap)
+	}
+	if t.metrics != nil || t.trace != nil {
+		names := make([]string, 0, len(t.stages)+1)
+		names = append(names, "source")
+		for _, s := range t.stages {
+			names = append(names, s.Name)
+		}
+		name := t.metricsName
+		if name == "" {
+			name = "spar"
+		}
+		pipe.SetTelemetry(t.metrics, name, names...)
+		pipe.SetStreamTracer(t.trace)
 	}
 	src.stopped = pipe.Canceled
 	return pipe.RunContext(ctx)

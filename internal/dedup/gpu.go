@@ -57,6 +57,7 @@ func CompressGPU(input []byte, w io.Writer, opt GPUOptions) (Stats, GPUReport, e
 
 	sim := des.New()
 	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	dev.SetTelemetry(opt.Metrics)
 	if opt.Faults != (fault.Config{}) {
 		dev.SetFaultInjector(fault.New(opt.Faults))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"streamgpu/internal/core"
 	"streamgpu/internal/lzss"
+	"streamgpu/internal/telemetry"
 )
 
 // Options configures a compression run.
@@ -14,6 +15,14 @@ type Options struct {
 	BatchSize int
 	// Workers replicates the hash+compress stage (the paper uses 19).
 	Workers int
+	// Metrics, when set, instruments the run: the SPar pipeline surfaces
+	// per-stage counters, service histograms and queue gauges labelled
+	// {pipeline="dedup"}; the GPU path additionally attaches the device
+	// engine metrics. nil is off.
+	Metrics *telemetry.Registry
+	// Trace, when set, records per-batch stage enter/exit events on the
+	// SPar pipeline. nil is off.
+	Trace *telemetry.StreamTracer
 }
 
 func (o Options) batchSize() int {
@@ -101,7 +110,8 @@ func CompressSParContext(ctx context.Context, input []byte, w io.Writer, opt Opt
 	dw := NewWriter(w)
 	store := NewStore()
 
-	ts := core.NewToStream(core.Ordered(), core.Input("input", "batchSize")).
+	ts := core.NewToStream(core.Ordered(), core.Input("input", "batchSize"),
+		core.Telemetry(opt.Metrics, "dedup"), core.Trace(opt.Trace)).
 		Stage(func(item any, emit func(any)) {
 			b := item.(*Batch)
 			processBatch(b, store)

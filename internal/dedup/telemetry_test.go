@@ -1,0 +1,59 @@
+package dedup
+
+import (
+	"bytes"
+	"testing"
+
+	"streamgpu/internal/telemetry"
+)
+
+// TestCompressSParTelemetry checks an instrumented CPU compress run surfaces
+// pipeline metrics and trace events without disturbing the archive.
+func TestCompressSParTelemetry(t *testing.T) {
+	input := sample(1 << 20)
+	reg := telemetry.New()
+	tr := telemetry.NewStreamTracer(0)
+	var arch bytes.Buffer
+	opt := Options{BatchSize: 128 << 10, Workers: 4, Metrics: reg, Trace: tr}
+	if _, err := CompressSPar(input, &arch, opt); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Restore(bytes.NewReader(arch.Bytes()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), input) {
+		t.Fatal("restore mismatch")
+	}
+	nBatches := int64((1<<20 + 128<<10 - 1) / (128 << 10))
+	lbl := telemetry.Labels{"pipeline": "dedup", "stage": "hash+compress"}
+	if v := reg.Counter("ff_stage_items_in_total", lbl).Value(); v != nBatches {
+		t.Errorf("hash+compress items in = %d, want %d", v, nBatches)
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("no trace events recorded")
+	}
+}
+
+// TestCompressGPUTelemetry checks the GPU compress run feeds the device
+// engine metrics.
+func TestCompressGPUTelemetry(t *testing.T) {
+	input := sample(1 << 20)
+	reg := telemetry.New()
+	var arch bytes.Buffer
+	opt := GPUOptions{Options: Options{BatchSize: 256 << 10, Metrics: reg}}
+	_, rep, err := CompressGPU(input, &arch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUHash == 0 {
+		t.Fatal("no batches hashed on the device")
+	}
+	lbl := telemetry.Labels{"device": "gpu0"}
+	if v := reg.Counter("gpu_kernels_launched_total", lbl).Value(); v <= 0 {
+		t.Errorf("kernels launched = %d, want > 0", v)
+	}
+	if v := reg.Counter("gpu_h2d_bytes_total", lbl).Value(); v < int64(len(input)) {
+		t.Errorf("h2d bytes = %d, want >= %d", v, len(input))
+	}
+}

@@ -68,7 +68,7 @@ func (f *Farm) NWorkers() int { return len(f.workers) }
 // start wires the farm into a pipeline position. in == nil means the farm
 // is the first stage (its emitter must then generate the stream); out ==
 // nil means last stage.
-func (f *Farm) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+func (f *Farm) start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.WaitGroup) {
 	if in == nil && f.emitter == nil {
 		panic("ff: farm used as source needs an emitter node")
 	}
@@ -79,12 +79,13 @@ func (f *Farm) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
 		wqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
 		cqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
 	}
+	tm.registerFarmQueueGauges(wqs, cqs)
 
 	// --- emitter ---
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		f.runEmitter(pl, in, wqs)
+		f.runEmitter(pl, tm, in, wqs)
 	}()
 
 	// --- workers ---
@@ -92,7 +93,7 @@ func (f *Farm) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			f.runWorker(pl, i, wqs[i], cqs[i])
+			f.runWorker(pl, tm, i, wqs[i], cqs[i])
 		}(i)
 	}
 
@@ -100,19 +101,20 @@ func (f *Farm) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		f.runCollector(pl, cqs, out)
+		f.runCollector(pl, tm, cqs, out)
 	}()
 }
 
 // runEmitter pulls tasks (from the pipeline input or by invoking a source
 // emitter) and schedules them over the workers.
-func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
+func (f *Farm) runEmitter(pl *Pipeline, tm *stageTelem, in *SPSC[any], wqs []*SPSC[any]) {
 	var seq uint64
 	next := 0
 	schedule := func(v any) {
 		if pl.Canceled() {
 			return
 		}
+		tm.itemIn()
 		if f.ordered {
 			v = seqIn{seq: seq, val: v}
 			seq++
@@ -164,7 +166,7 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 				break
 			}
 			if pl.Canceled() {
-				drain(in)
+				tm.dropped(1 + drain(in))
 				break
 			}
 			schedule(t)
@@ -176,12 +178,15 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 				break
 			}
 			if pl.Canceled() {
-				drain(in)
+				tm.dropped(1 + drain(in))
 				break
 			}
 			r, ok := svcSafe(pl, em, t, "emitter")
 			if !ok || r == EOS {
-				drain(in)
+				if !ok {
+					tm.errored()
+				}
+				tm.dropped(drain(in))
 				break
 			}
 			if r != GoOn {
@@ -197,8 +202,10 @@ func (f *Farm) runEmitter(pl *Pipeline, in *SPSC[any], wqs []*SPSC[any]) {
 	}
 }
 
-// runWorker executes one replica's service loop.
-func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
+// runWorker executes one replica's service loop. Service times and per-item
+// traces are observed here: the workers are where a farm stage spends its
+// time.
+func (f *Farm) runWorker(pl *Pipeline, tm *stageTelem, i int, wq, cq *SPSC[any]) {
 	w := f.workers[i]
 	where := fmt.Sprintf("worker %d", i)
 	// Multi-output plumbing: unordered workers push straight to their
@@ -215,7 +222,8 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 		})
 	}
 	if !initSafe(pl, w, where) {
-		drain(wq)
+		tm.errored()
+		tm.dropped(drain(wq))
 		cq.Push(EOS)
 		return
 	}
@@ -225,27 +233,37 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 			break
 		}
 		if pl.Canceled() {
-			drain(wq)
+			tm.dropped(1 + drain(wq))
 			break
 		}
 		if f.ordered {
 			si := t.(seqIn)
 			pending = &seqOut{seq: si.seq}
+			t0 := tm.svcStart()
 			r, ok := svcSafe(pl, w, si.val, where)
+			tm.svcEnd(t0)
 			if r != GoOn && r != EOS && ok {
 				pending.vals = append(pending.vals, r)
 			}
 			cq.Push(*pending)
 			pending = nil
 			if !ok || r == EOS {
-				drain(wq)
+				if !ok {
+					tm.errored()
+				}
+				tm.dropped(drain(wq))
 				break
 			}
 			continue
 		}
+		t0 := tm.svcStart()
 		r, ok := svcSafe(pl, w, t, where)
+		tm.svcEnd(t0)
 		if !ok || r == EOS {
-			drain(wq)
+			if !ok {
+				tm.errored()
+			}
+			tm.dropped(drain(wq))
 			break
 		}
 		if r != GoOn {
@@ -259,11 +277,12 @@ func (f *Farm) runWorker(pl *Pipeline, i int, wq, cq *SPSC[any]) {
 // runCollector gathers worker results (round-robin over the per-worker
 // queues), restores order if requested, applies the collector node, and
 // forwards downstream.
-func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
+func (f *Farm) runCollector(pl *Pipeline, tm *stageTelem, cqs []*SPSC[any], out *SPSC[any]) {
 	col := f.collector
 	send := func(v any) {
 		if out != nil && !pl.Canceled() {
 			out.Push(v)
+			tm.itemOut()
 		}
 	}
 	if col != nil {
@@ -281,6 +300,7 @@ func (f *Farm) runCollector(pl *Pipeline, cqs []*SPSC[any], out *SPSC[any]) {
 		if col != nil {
 			r, ok := svcSafe(pl, col, v, "collector")
 			if !ok {
+				tm.errored()
 				col = nil // stream is canceled; keep draining without it
 				return
 			}

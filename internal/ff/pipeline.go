@@ -19,8 +19,9 @@ const defaultQueueCap = 512
 const stuckGrace = time.Second
 
 // stage is anything that can occupy a pipeline position: a Node or a *Farm.
+// tm carries the stage's telemetry instruments (nil when telemetry is off).
 type stage interface {
-	start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup)
+	start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.WaitGroup)
 }
 
 // Pipeline composes stages connected by SPSC queues, one thread per plain
@@ -29,6 +30,7 @@ type Pipeline struct {
 	stages   []stage
 	queueCap int
 	spinning bool
+	tel      *pipeTelem
 
 	// canceled aborts the stream: sources stop emitting, other stages drop
 	// their inputs and drain. Set by Cancel, RunContext expiry, and the
@@ -66,7 +68,9 @@ func NewPipeline(stages ...any) *Pipeline {
 // start wires this pipeline as a stage of an enclosing pipeline: its first
 // stage consumes the outer input, its last feeds the outer output, and
 // internal queues connect the rest. Errors propagate to the outer pipeline.
-func (p *Pipeline) start(outer *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+// The outer stage's telemetry is ignored: a nested pipeline observes through
+// its own SetTelemetry configuration, so its stages keep their own names.
+func (p *Pipeline) start(outer *Pipeline, _ *stageTelem, in, out *SPSC[any], wg *sync.WaitGroup) {
 	n := len(p.stages)
 	queues := make([]*SPSC[any], n-1)
 	cap := p.queueCap
@@ -76,6 +80,7 @@ func (p *Pipeline) start(outer *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup
 	for i := range queues {
 		queues[i] = NewSPSC[any](cap, outer.spinning)
 	}
+	p.registerQueueGauges(queues)
 	for i, s := range p.stages {
 		sin, sout := in, out
 		if i > 0 {
@@ -84,7 +89,7 @@ func (p *Pipeline) start(outer *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup
 		if i < n-1 {
 			sout = queues[i]
 		}
-		s.start(outer, sin, sout, wg)
+		s.start(outer, p.newStageTelem(i), sin, sout, wg)
 	}
 }
 
@@ -154,6 +159,7 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 	for i := range queues {
 		queues[i] = NewSPSC[any](p.queueCap, p.spinning)
 	}
+	p.registerQueueGauges(queues)
 	var wg sync.WaitGroup
 	for i, s := range p.stages {
 		var in, out *SPSC[any]
@@ -163,7 +169,7 @@ func (p *Pipeline) RunContext(ctx context.Context) error {
 		if i < n-1 {
 			out = queues[i]
 		}
-		s.start(p, in, out, &wg)
+		s.start(p, p.newStageTelem(i), in, out, &wg)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -188,11 +194,11 @@ type nodeStage struct {
 	node Node
 }
 
-func (ns *nodeStage) start(pl *Pipeline, in, out *SPSC[any], wg *sync.WaitGroup) {
+func (ns *nodeStage) start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.WaitGroup) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		runNode(pl, ns.node, in, out)
+		runNode(pl, tm, ns.node, in, out)
 	}()
 }
 
@@ -250,20 +256,23 @@ func endSafe(pl *Pipeline, n Node, where string) {
 
 // runNode is the generic node service loop shared by pipeline stages and
 // farm roles: init, consume/produce until EOS (or failure/cancellation),
-// finalize, propagate EOS.
-func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
+// finalize, propagate EOS. tm (nil when telemetry is off) observes items
+// in/out, service time, drops and errors.
+func runNode(pl *Pipeline, tm *stageTelem, n Node, in, out *SPSC[any]) {
 	where := fmt.Sprintf("node %T", n)
 	send := func(v any) {
 		if out != nil && !pl.Canceled() {
 			out.Push(v)
+			tm.itemOut()
 		}
 	}
 	if on, ok := n.(OutNode); ok {
 		on.setOut(send)
 	}
 	if !initSafe(pl, n, where) {
+		tm.errored()
 		if in != nil {
-			drain(in)
+			tm.dropped(drain(in))
 		}
 		if out != nil {
 			out.Push(EOS)
@@ -273,7 +282,12 @@ func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
 	if in == nil {
 		// Source: svc(nil) until EOS or the stream is aborted.
 		for !pl.Canceled() {
+			t0 := tm.svcStart()
 			r, ok := svcSafe(pl, n, nil, where)
+			tm.svcEnd(t0)
+			if !ok {
+				tm.errored()
+			}
 			if !ok || r == EOS {
 				break
 			}
@@ -289,14 +303,20 @@ func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
 			}
 			if pl.Canceled() {
 				// Keep consuming so upstream can finish, drop the items.
-				drain(in)
+				tm.dropped(1 + drain(in))
 				break
 			}
+			tm.itemIn()
+			t0 := tm.svcStart()
 			r, ok := svcSafe(pl, n, t, where)
+			tm.svcEnd(t0)
 			if !ok || r == EOS {
 				// Failure or early termination: keep consuming so upstream
 				// can finish, but drop the items.
-				drain(in)
+				if !ok {
+					tm.errored()
+				}
+				tm.dropped(drain(in))
 				break
 			}
 			if r != GoOn {
@@ -310,11 +330,14 @@ func runNode(pl *Pipeline, n Node, in, out *SPSC[any]) {
 	}
 }
 
-// drain consumes and discards items until EOS.
-func drain(in *SPSC[any]) {
+// drain consumes and discards items until EOS, returning how many were
+// discarded (the fault path's drop count).
+func drain(in *SPSC[any]) int64 {
+	var n int64
 	for {
 		if in.Pop() == EOS {
-			return
+			return n
 		}
+		n++
 	}
 }

@@ -40,6 +40,7 @@ type Runtime struct {
 	sim     *des.Sim
 	devices []*gpu.Device
 	current map[*des.Proc]int
+	tel     *rtTelem
 }
 
 // NewRuntime creates a runtime over the given devices (device 0 is the
@@ -133,6 +134,7 @@ func (rt *Runtime) HostAlloc(n int64) *gpu.HostBuf { return gpu.NewPinnedBuf(n) 
 // exactly the CUDA behaviour that makes `realloc`-managed buffers (as in
 // Dedup) unable to overlap, defeating the 2×-memory-space optimization.
 func (rt *Runtime) MemcpyAsync(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) {
+	rt.countMemcpy(kind, !hbuf.Pinned)
 	var ev *des.Event
 	switch kind {
 	case MemcpyHostToDevice:
@@ -168,6 +170,7 @@ func (rt *Runtime) MemcpyD2DAsync(p *des.Proc, dst *gpu.Buf, dOff int64, src *gp
 // Memcpy is the synchronous transfer (cudaMemcpy): it blocks the calling
 // thread regardless of memory kind and returns the transfer's outcome.
 func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.HostBuf, hOff, n int64, kind MemcpyKind, st *Stream) error {
+	rt.countMemcpy(kind, false)
 	var ev *des.Event
 	switch kind {
 	case MemcpyHostToDevice:
@@ -185,6 +188,9 @@ func (rt *Runtime) Memcpy(p *des.Proc, dbuf *gpu.Buf, dOff int64, hbuf *gpu.Host
 // LaunchKernel launches spec<<<grid>>>(args...) on st (cudaLaunchKernel).
 // Launch failures are asynchronous; they surface at the next sync call.
 func (rt *Runtime) LaunchKernel(p *des.Proc, spec *gpu.KernelSpec, g gpu.Grid, st *Stream, args ...any) {
+	if rt.tel != nil {
+		rt.tel.launches.Inc()
+	}
 	st.track(st.s.Launch(p, spec.Bind(args...), g))
 }
 

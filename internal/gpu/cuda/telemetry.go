@@ -1,0 +1,52 @@
+package cuda
+
+import (
+	"streamgpu/internal/telemetry"
+)
+
+// rtTelem counts host-API activity — the facade-level view (launches issued,
+// memcpys requested, pageable degradations) that complements the device-level
+// engine metrics in internal/gpu.
+type rtTelem struct {
+	launches         *telemetry.Counter
+	memcpyH2D        *telemetry.Counter
+	memcpyD2H        *telemetry.Counter
+	pageableBlocking *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry to the runtime:
+//
+//	cuda_kernel_launches_total    LaunchKernel calls
+//	cuda_memcpys_total            Memcpy/MemcpyAsync calls ({dir})
+//	cuda_pageable_blocking_total  MemcpyAsync calls that degraded to blocking
+//	                              because the host buffer was pageable — the
+//	                              paper's overlap-defeating path
+//
+// nil reg turns instrumentation off.
+func (rt *Runtime) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		rt.tel = nil
+		return
+	}
+	rt.tel = &rtTelem{
+		launches:         reg.Counter("cuda_kernel_launches_total", nil),
+		memcpyH2D:        reg.Counter("cuda_memcpys_total", telemetry.Labels{"dir": "h2d"}),
+		memcpyD2H:        reg.Counter("cuda_memcpys_total", telemetry.Labels{"dir": "d2h"}),
+		pageableBlocking: reg.Counter("cuda_pageable_blocking_total", nil),
+	}
+}
+
+// countMemcpy records one transfer request.
+func (rt *Runtime) countMemcpy(kind MemcpyKind, pageableBlocked bool) {
+	if rt.tel == nil {
+		return
+	}
+	if kind == MemcpyHostToDevice {
+		rt.tel.memcpyH2D.Inc()
+	} else {
+		rt.tel.memcpyD2H.Inc()
+	}
+	if pageableBlocked {
+		rt.tel.pageableBlocking.Inc()
+	}
+}

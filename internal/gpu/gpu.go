@@ -111,6 +111,16 @@ type Device struct {
 	// faults surface as error values on the operation's completion event.
 	inj *fault.Injector
 
+	// tel, when set, mirrors device activity into a metrics registry.
+	tel *devTelem
+
+	// Copy/compute overlap accounting (see markBusy/markIdle). Plain fields:
+	// only simulation processes touch them, and the simulation is cooperative.
+	computeHeld  int
+	copyHeld     int
+	overlapOpen  bool
+	overlapStart des.Time
+
 	stats Stats
 }
 
@@ -122,7 +132,11 @@ type Stats struct {
 	BytesD2H        int64
 	CopyBusyH2D     des.Duration
 	CopyBusyD2H     des.Duration
-	PeakMemUsed     int64
+	// OverlapBusy is the virtual time during which the compute engine and at
+	// least one PCIe copy engine were busy simultaneously — the paper's
+	// copy/compute overlap, zero without pinned memory and multiple streams.
+	OverlapBusy des.Duration
+	PeakMemUsed int64
 }
 
 // NewDevice creates a device attached to sim. id distinguishes multiple GPUs.

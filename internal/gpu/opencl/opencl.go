@@ -27,6 +27,7 @@ var ErrNoDevices = errors.New("opencl: no devices")
 type Context struct {
 	sim     *des.Sim
 	devices []*gpu.Device
+	tel     *ctxTelem
 }
 
 // CreateContext builds a context over the discovered devices. With no
@@ -46,12 +47,13 @@ func (c *Context) Devices() []*gpu.Device { return c.devices }
 type CommandQueue struct {
 	s   *gpu.Stream
 	dev *gpu.Device
+	tel *ctxTelem
 }
 
 // CreateCommandQueue creates an in-order command queue on device id.
 func (c *Context) CreateCommandQueue(id int) *CommandQueue {
 	d := c.devices[id]
-	return &CommandQueue{s: d.NewStream(""), dev: d}
+	return &CommandQueue{s: d.NewStream(""), dev: d, tel: c.tel}
 }
 
 // Device reports the queue's device.
@@ -147,6 +149,12 @@ func (q *CommandQueue) EnqueueWriteBuffer(p *des.Proc, dst *Buffer, dOff int64, 
 		ev = q.s.CopyH2D(p, dst.buf, dOff, src, sOff, n)
 	} else {
 		ev = q.s.CopyH2DStaged(p, dst.buf, dOff, src, sOff, n, StagingBwFactor)
+		if q.tel != nil {
+			q.tel.staged.Inc()
+		}
+	}
+	if q.tel != nil {
+		q.tel.writes.Inc()
 	}
 	if blocking {
 		ev.Wait(p)
@@ -162,6 +170,12 @@ func (q *CommandQueue) EnqueueReadBuffer(p *des.Proc, dst *gpu.HostBuf, dOff int
 		ev = q.s.CopyD2H(p, dst, dOff, src.buf, sOff, n)
 	} else {
 		ev = q.s.CopyD2HStaged(p, dst, dOff, src.buf, sOff, n, StagingBwFactor)
+		if q.tel != nil {
+			q.tel.staged.Inc()
+		}
+	}
+	if q.tel != nil {
+		q.tel.reads.Inc()
 	}
 	if blocking {
 		ev.Wait(p)
@@ -198,6 +212,9 @@ func (q *CommandQueue) enqueue(p *des.Proc, k *Kernel, g gpu.Grid) *Event {
 		}
 	}
 	p.Wait(CommandOverhead)
+	if q.tel != nil {
+		q.tel.kernels.Inc()
+	}
 	ev := q.s.Launch(p, k.spec.Bind(k.args...), g)
 	return &Event{ev: ev}
 }

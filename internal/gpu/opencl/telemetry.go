@@ -1,0 +1,36 @@
+package opencl
+
+import (
+	"streamgpu/internal/telemetry"
+)
+
+// ctxTelem counts host-API activity — the facade-level view complementing
+// the device-level engine metrics in internal/gpu.
+type ctxTelem struct {
+	writes  *telemetry.Counter
+	reads   *telemetry.Counter
+	kernels *telemetry.Counter
+	staged  *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry to the context. Call it before
+// creating command queues. Metrics:
+//
+//	opencl_enqueues_total          enqueued commands ({op: write|read|ndrange})
+//	opencl_staged_transfers_total  pageable transfers bounced through the
+//	                               runtime's staging buffer (slower, but still
+//	                               asynchronous — OpenCL's edge over CUDA here)
+//
+// nil reg turns instrumentation off.
+func (c *Context) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = &ctxTelem{
+		writes:  reg.Counter("opencl_enqueues_total", telemetry.Labels{"op": "write"}),
+		reads:   reg.Counter("opencl_enqueues_total", telemetry.Labels{"op": "read"}),
+		kernels: reg.Counter("opencl_enqueues_total", telemetry.Labels{"op": "ndrange"}),
+		staged:  reg.Counter("opencl_staged_transfers_total", nil),
+	}
+}

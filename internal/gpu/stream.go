@@ -5,6 +5,7 @@ import (
 
 	"streamgpu/internal/des"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/telemetry"
 )
 
 // opKind discriminates stream operations.
@@ -37,6 +38,7 @@ func opName(k opKind) string {
 type op struct {
 	kind opKind
 	done *des.Event
+	enq  des.Time // enqueue timestamp, for queueing-delay telemetry
 
 	// copies
 	dbuf          *Buf
@@ -65,6 +67,9 @@ type Stream struct {
 	dev  *Device
 	name string
 	ops  *des.Queue[op]
+	// outstanding counts enqueued-but-incomplete ops when the device is
+	// instrumented (nil otherwise; the telemetry.Gauge is nil-safe anyway).
+	outstanding *telemetry.Gauge
 }
 
 // NewStream creates a stream served by its own daemon engine process.
@@ -78,8 +83,19 @@ func (d *Device) NewStream(name string) *Stream {
 		name: name,
 		ops:  des.NewQueue[op](d.sim, name+".ops", 1024),
 	}
+	if d.tel != nil {
+		st.outstanding = d.tel.reg.Gauge("gpu_stream_outstanding_ops",
+			telemetry.Labels{"device": d.name, "stream": name})
+	}
 	d.sim.SpawnDaemon(name, st.engine)
 	return st
+}
+
+// put stamps and enqueues one op, maintaining the outstanding-ops gauge.
+func (st *Stream) put(p *des.Proc, o op) {
+	o.enq = p.Now()
+	st.outstanding.Inc()
+	st.ops.Put(p, o)
 }
 
 // Name reports the stream's name.
@@ -110,8 +126,16 @@ func (st *Stream) engine(p *des.Proc) {
 				penalty = d.Spec.KernelLaunchOverhead
 			}
 			if err := d.checkFault(fop, opName(o.kind)); err != nil {
+				if d.tel != nil {
+					if fop == fault.Kernel {
+						d.tel.faultKernel.Inc()
+					} else {
+						d.tel.faultTransfer.Inc()
+					}
+				}
 				p.Wait(penalty)
 				o.done.Fire(err)
+				st.outstanding.Dec()
 				continue
 			}
 		}
@@ -121,11 +145,13 @@ func (st *Stream) engine(p *des.Proc) {
 				d.compute.Acquire(p, 1)
 			}
 			d.h2d.Acquire(p, 1)
+			d.markBusy(false)
 			t := d.transferTime(o.n, true, o.hbuf.Pinned)
 			if o.bwFactor > 0 {
 				t = des.Duration(float64(t) * o.bwFactor)
 			}
 			p.Wait(t)
+			d.markIdle(false)
 			d.h2d.Release(p, 1)
 			if o.exclusive {
 				d.compute.Release(p, 1)
@@ -133,17 +159,23 @@ func (st *Stream) engine(p *des.Proc) {
 			copy(o.dbuf.Bytes()[o.dOff:o.dOff+o.n], o.hbuf.Data[o.hOff:o.hOff+o.n])
 			d.stats.BytesH2D += o.n
 			d.stats.CopyBusyH2D += t
+			if d.tel != nil {
+				d.tel.h2dBytes.Add(o.n)
+				d.tel.h2dSec.Observe(t.Seconds())
+			}
 			o.done.Fire(nil)
 		case opCopyD2H:
 			if o.exclusive {
 				d.compute.Acquire(p, 1)
 			}
 			d.d2h.Acquire(p, 1)
+			d.markBusy(false)
 			t := d.transferTime(o.n, false, o.hbuf.Pinned)
 			if o.bwFactor > 0 {
 				t = des.Duration(float64(t) * o.bwFactor)
 			}
 			p.Wait(t)
+			d.markIdle(false)
 			d.d2h.Release(p, 1)
 			if o.exclusive {
 				d.compute.Release(p, 1)
@@ -151,6 +183,10 @@ func (st *Stream) engine(p *des.Proc) {
 			copy(o.hbuf.Data[o.hOff:o.hOff+o.n], o.dbuf.Bytes()[o.dOff:o.dOff+o.n])
 			d.stats.BytesD2H += o.n
 			d.stats.CopyBusyD2H += t
+			if d.tel != nil {
+				d.tel.d2hBytes.Add(o.n)
+				d.tel.d2hSec.Observe(t.Seconds())
+			}
 			o.done.Fire(nil)
 		case opCopyD2D:
 			// On-device copies run through the memory controller; they do
@@ -161,16 +197,26 @@ func (st *Stream) engine(p *des.Proc) {
 			o.done.Fire(nil)
 		case opKernel:
 			d.compute.Acquire(p, 1)
+			if d.tel != nil {
+				d.tel.launchWait.Observe(des.Duration(p.Now() - o.enq).Seconds())
+			}
+			d.markBusy(true)
 			res := d.execute(o.kernel, o.grid)
 			busy := d.Spec.KernelLaunchOverhead + res.ComputeTime
 			p.Wait(busy)
+			d.markIdle(true)
 			d.compute.Release(p, 1)
 			d.stats.KernelsLaunched++
 			d.stats.KernelBusy += busy
+			if d.tel != nil {
+				d.tel.kernels.Inc()
+				d.tel.kernSec.Observe(busy.Seconds())
+			}
 			o.done.Fire(res)
 		case opMarker:
 			o.done.Fire(nil)
 		}
+		st.outstanding.Dec()
 	}
 }
 
@@ -200,7 +246,7 @@ func (st *Stream) CopyH2DStaged(p *des.Proc, dst *Buf, dstOff int64, src *HostBu
 	checkRange("CopyH2D dst", dstOff, n, dst.Size())
 	checkRange("CopyH2D src", srcOff, n, int64(len(src.Data)))
 	ev := st.nextEvent("h2d")
-	st.ops.Put(p, op{kind: opCopyH2D, done: ev, dbuf: dst, hbuf: src, dOff: dstOff, hOff: srcOff, n: n, bwFactor: bwFactor})
+	st.put(p, op{kind: opCopyH2D, done: ev, dbuf: dst, hbuf: src, dOff: dstOff, hOff: srcOff, n: n, bwFactor: bwFactor})
 	return ev
 }
 
@@ -208,7 +254,7 @@ func (st *Stream) copyH2DOpt(p *des.Proc, dst *Buf, dstOff int64, src *HostBuf, 
 	checkRange("CopyH2D dst", dstOff, n, dst.Size())
 	checkRange("CopyH2D src", srcOff, n, int64(len(src.Data)))
 	ev := st.nextEvent("h2d")
-	st.ops.Put(p, op{kind: opCopyH2D, done: ev, dbuf: dst, hbuf: src, dOff: dstOff, hOff: srcOff, n: n, exclusive: excl})
+	st.put(p, op{kind: opCopyH2D, done: ev, dbuf: dst, hbuf: src, dOff: dstOff, hOff: srcOff, n: n, exclusive: excl})
 	return ev
 }
 
@@ -230,7 +276,7 @@ func (st *Stream) CopyD2HStaged(p *des.Proc, dst *HostBuf, dstOff int64, src *Bu
 	checkRange("CopyD2H src", srcOff, n, src.Size())
 	checkRange("CopyD2H dst", dstOff, n, int64(len(dst.Data)))
 	ev := st.nextEvent("d2h")
-	st.ops.Put(p, op{kind: opCopyD2H, done: ev, dbuf: src, hbuf: dst, dOff: srcOff, hOff: dstOff, n: n, bwFactor: bwFactor})
+	st.put(p, op{kind: opCopyD2H, done: ev, dbuf: src, hbuf: dst, dOff: srcOff, hOff: dstOff, n: n, bwFactor: bwFactor})
 	return ev
 }
 
@@ -238,7 +284,7 @@ func (st *Stream) copyD2HOpt(p *des.Proc, dst *HostBuf, dstOff int64, src *Buf, 
 	checkRange("CopyD2H src", srcOff, n, src.Size())
 	checkRange("CopyD2H dst", dstOff, n, int64(len(dst.Data)))
 	ev := st.nextEvent("d2h")
-	st.ops.Put(p, op{kind: opCopyD2H, done: ev, dbuf: src, hbuf: dst, dOff: srcOff, hOff: dstOff, n: n, exclusive: excl})
+	st.put(p, op{kind: opCopyD2H, done: ev, dbuf: src, hbuf: dst, dOff: srcOff, hOff: dstOff, n: n, exclusive: excl})
 	return ev
 }
 
@@ -251,7 +297,7 @@ func (st *Stream) CopyD2D(p *des.Proc, dst *Buf, dstOff int64, src *Buf, srcOff,
 	checkRange("CopyD2D dst", dstOff, n, dst.Size())
 	checkRange("CopyD2D src", srcOff, n, src.Size())
 	ev := st.nextEvent("d2d")
-	st.ops.Put(p, op{kind: opCopyD2D, done: ev, dbuf: src, dbuf2: dst, dOff: dstOff, hOff: srcOff, n: n})
+	st.put(p, op{kind: opCopyD2D, done: ev, dbuf: src, dbuf2: dst, dOff: dstOff, hOff: srcOff, n: n})
 	return ev
 }
 
@@ -264,7 +310,7 @@ func (st *Stream) Launch(p *des.Proc, k *Kernel, g Grid) *des.Event {
 	}
 	p.Wait(st.dev.Spec.HostLaunchOverhead)
 	ev := st.nextEvent("kernel." + k.Name)
-	st.ops.Put(p, op{kind: opKernel, done: ev, kernel: k, grid: g})
+	st.put(p, op{kind: opKernel, done: ev, kernel: k, grid: g})
 	return ev
 }
 
@@ -272,7 +318,7 @@ func (st *Stream) Launch(p *des.Proc, k *Kernel, g Grid) *des.Event {
 // operations on this stream have completed (cudaEventRecord analogue).
 func (st *Stream) Record(p *des.Proc) *des.Event {
 	ev := st.nextEvent("marker")
-	st.ops.Put(p, op{kind: opMarker, done: ev})
+	st.put(p, op{kind: opMarker, done: ev})
 	return ev
 }
 

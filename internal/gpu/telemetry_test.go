@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"testing"
+
+	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/telemetry"
+)
+
+// TestDeviceTelemetry runs an instrumented round trip and checks the device
+// metrics mirror Stats.
+func TestDeviceTelemetry(t *testing.T) {
+	const n = 4096
+	reg := telemetry.New()
+	host := NewPinnedBuf(n)
+	out := NewPinnedBuf(n)
+
+	sim := des.New()
+	dev := NewDevice(sim, testSpec(), 0)
+	dev.SetTelemetry(reg)
+	sim.Spawn("host", func(p *des.Proc) {
+		buf := mustMalloc(dev, n)
+		defer buf.Free()
+		st := dev.NewStream("s")
+		evs := []*des.Event{
+			st.CopyH2D(p, buf, 0, host, 0, n),
+			st.Launch(p, incKernel(buf, n), Grid1D(n, 128)),
+			st.CopyD2H(p, out, 0, buf, 0, n),
+		}
+		if err := WaitErr(p, evs...); err != nil {
+			panic(err)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	lbl := telemetry.Labels{"device": "gpu0"}
+	if v := reg.Counter("gpu_h2d_bytes_total", lbl).Value(); v != n {
+		t.Errorf("gpu_h2d_bytes_total = %d, want %d", v, n)
+	}
+	if v := reg.Counter("gpu_d2h_bytes_total", lbl).Value(); v != n {
+		t.Errorf("gpu_d2h_bytes_total = %d, want %d", v, n)
+	}
+	if v := reg.Counter("gpu_kernels_launched_total", lbl).Value(); v != 1 {
+		t.Errorf("gpu_kernels_launched_total = %d, want 1", v)
+	}
+	if v := reg.Histogram("gpu_kernel_seconds", nil, lbl).Count(); v != 1 {
+		t.Errorf("gpu_kernel_seconds count = %d, want 1", v)
+	}
+	if v := reg.Histogram("gpu_kernel_launch_latency_seconds", nil, lbl).Count(); v != 1 {
+		t.Errorf("launch latency count = %d, want 1", v)
+	}
+	if v := reg.Gauge("gpu_stream_outstanding_ops",
+		telemetry.Labels{"device": "gpu0", "stream": "s"}).Value(); v != 0 {
+		t.Errorf("outstanding ops after drain = %v, want 0", v)
+	}
+	// Serial single-stream work cannot overlap copy and compute.
+	if ob := dev.Stats().OverlapBusy; ob != 0 {
+		t.Errorf("OverlapBusy = %v for serial stream, want 0", ob)
+	}
+}
+
+// TestOverlapAccounting drives two streams — one kernel-heavy, one
+// copy-heavy — concurrently and checks OverlapBusy sees the concurrency,
+// while an exclusive (pageable CUDA style) copy schedule records none.
+func TestOverlapAccounting(t *testing.T) {
+	const n = 1 << 20
+	run := func(exclusive bool) des.Duration {
+		sim := des.New()
+		dev := NewDevice(sim, testSpec(), 0)
+		host := NewPinnedBuf(n)
+		sim.Spawn("host", func(p *des.Proc) {
+			buf := mustMalloc(dev, n)
+			defer buf.Free()
+			sk := dev.NewStream("kern")
+			sc := dev.NewStream("copy")
+			var evs []*des.Event
+			for i := 0; i < 4; i++ {
+				evs = append(evs, sk.Launch(p, incKernel(buf, n), Grid1D(n, 256)))
+				if exclusive {
+					evs = append(evs, sc.CopyH2DExclusive(p, buf, 0, host, 0, n))
+				} else {
+					evs = append(evs, sc.CopyH2D(p, buf, 0, host, 0, n))
+				}
+			}
+			if err := WaitErr(p, evs...); err != nil {
+				panic(err)
+			}
+		})
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().OverlapBusy
+	}
+	if ob := run(false); ob <= 0 {
+		t.Errorf("pinned two-stream OverlapBusy = %v, want > 0", ob)
+	}
+	if ob := run(true); ob != 0 {
+		t.Errorf("exclusive-copy OverlapBusy = %v, want 0", ob)
+	}
+}
+
+// TestFaultTelemetry checks injector hits reach the fault counters.
+func TestFaultTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	const n = 64
+	host := NewPinnedBuf(n)
+	sim := des.New()
+	dev := NewDevice(sim, testSpec(), 0)
+	dev.SetTelemetry(reg)
+	dev.SetFaultInjector(fault.New(fault.Config{Seed: 1, TransferRate: 1}))
+	sim.Spawn("host", func(p *des.Proc) {
+		buf := mustMalloc(dev, n)
+		defer buf.Free()
+		st := dev.NewStream("s")
+		ev := st.CopyH2D(p, buf, 0, host, 0, n)
+		if err := WaitErr(p, ev); err == nil {
+			panic("expected injected fault")
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("gpu_faults_injected_total",
+		telemetry.Labels{"device": "gpu0", "op": "transfer"}).Value(); v != 1 {
+		t.Errorf("fault counter = %d, want 1", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"streamgpu/internal/des"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/gpu"
+	"streamgpu/internal/telemetry"
 )
 
 // FTConfig configures the fault-tolerant GPU runner RunGPUFT.
@@ -24,6 +25,9 @@ type FTConfig struct {
 	// Faults holds one injector config per device; a short slice leaves the
 	// remaining devices fault-free.
 	Faults []fault.Config
+	// Telemetry, when set, instruments every device (transfer/kernel engine
+	// metrics in virtual seconds, fault-injection hit counters). nil is off.
+	Telemetry *telemetry.Registry
 }
 
 func (c FTConfig) nGPUs() int {
@@ -90,6 +94,7 @@ func RunGPUFT(p Params, cfg FTConfig) (*Image, FTReport, error) {
 	devs := make([]*gpu.Device, cfg.nGPUs())
 	for i := range devs {
 		devs[i] = gpu.NewDevice(sim, gpu.TitanXPSpec(), i)
+		devs[i].SetTelemetry(cfg.Telemetry)
 		if i < len(cfg.Faults) {
 			devs[i].SetFaultInjector(fault.New(cfg.Faults[i]))
 		}

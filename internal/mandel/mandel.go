@@ -9,8 +9,6 @@ package mandel
 import (
 	"context"
 
-	"streamgpu/internal/core"
-	"streamgpu/internal/ff"
 	"streamgpu/internal/gpu"
 	"streamgpu/internal/tbb"
 )
@@ -130,83 +128,20 @@ func RunSPar(p Params, workers int) (*Image, error) {
 // RunSParContext is RunSPar under a context: cancellation or timeout aborts
 // the stream and returns the context error (the frame is then incomplete).
 func RunSParContext(ctx context.Context, p Params, workers int) (*Image, error) {
-	im := NewImage(p.Dim)
-	ts := core.NewToStream(core.Ordered(), core.Input("dim", "init_a", "init_b", "step", "niter")).
-		Stage(func(item any, emit func(any)) {
-			r := item.(*Row)
-			p.ComputeRow(r.I, r.Img)
-			emit(r)
-		}, core.Replicate(workers), core.Name("compute"),
-			core.Input("dim", "init_a", "init_b", "step", "niter"), core.Output("img")).
-		Stage(func(item any, emit func(any)) {
-			r := item.(*Row)
-			im.SetRow(r.I, r.Img)
-		}, core.Name("show"), core.Input("img"))
-	err := ts.RunContext(ctx, func(emit func(any)) {
-		for i := 0; i < p.Dim; i++ {
-			emit(&Row{I: i, Img: make([]byte, p.Dim)})
-		}
-	})
-	return im, err
+	return RunSParObserved(ctx, p, workers, Observer{})
 }
 
 // RunFF computes the frame directly on the FastFlow-style runtime: a
 // pipeline whose middle stage is an ordered farm.
 func RunFF(p Params, workers int) (*Image, error) {
-	im := NewImage(p.Dim)
-	i := 0
-	src := ff.Source(func() (any, bool) {
-		if i >= p.Dim {
-			return nil, false
-		}
-		r := &Row{I: i, Img: make([]byte, p.Dim)}
-		i++
-		return r, true
-	})
-	ws := make([]ff.Node, workers)
-	for w := range ws {
-		ws[w] = ff.F(func(task any) any {
-			r := task.(*Row)
-			p.ComputeRow(r.I, r.Img)
-			return r
-		})
-	}
-	sink := ff.Sink(func(task any) {
-		r := task.(*Row)
-		im.SetRow(r.I, r.Img)
-	})
-	err := ff.NewPipeline(src, ff.NewFarm(ws, ff.Ordered()), sink).Run()
-	return im, err
+	return RunFFObserved(p, workers, Observer{})
 }
 
 // RunTBB computes the frame on the TBB-style runtime: a pipeline with a
 // parallel middle filter, throttled by maxTokens live tokens (the knob the
 // paper tunes to 2×/5× the worker count).
 func RunTBB(p Params, sched *tbb.Scheduler, maxTokens int) *Image {
-	im := NewImage(p.Dim)
-	i := 0
-	pipe := tbb.NewPipeline(
-		tbb.NewFilter(tbb.SerialInOrder, func(any) any {
-			if i >= p.Dim {
-				return nil
-			}
-			r := &Row{I: i, Img: make([]byte, p.Dim)}
-			i++
-			return r
-		}),
-		tbb.NewFilter(tbb.Parallel, func(v any) any {
-			r := v.(*Row)
-			p.ComputeRow(r.I, r.Img)
-			return r
-		}),
-		tbb.NewFilter(tbb.SerialInOrder, func(v any) any {
-			r := v.(*Row)
-			im.SetRow(r.I, r.Img)
-			return r
-		}),
-	)
-	pipe.Run(sched, maxTokens)
-	return im
+	return RunTBBObserved(p, sched, maxTokens, Observer{})
 }
 
 // --- GPU kernels ---

@@ -1,0 +1,90 @@
+package mandel
+
+import (
+	"context"
+	"testing"
+
+	"streamgpu/internal/tbb"
+	"streamgpu/internal/telemetry"
+)
+
+// TestRunSParObserved checks the SPar run surfaces per-stage metrics and
+// per-item trace events while still producing the full frame.
+func TestRunSParObserved(t *testing.T) {
+	p := TestParams()
+	reg := telemetry.New()
+	tr := telemetry.NewStreamTracer(0)
+	im, err := RunSParObserved(context.Background(), p, 4, Observer{Metrics: reg, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Complete() {
+		t.Fatal("incomplete frame")
+	}
+	lbl := telemetry.Labels{"pipeline": "mandel", "stage": "compute"}
+	if v := reg.Counter("ff_stage_items_in_total", lbl).Value(); v != int64(p.Dim) {
+		t.Errorf("compute items in = %d, want %d", v, p.Dim)
+	}
+	if len(tr.Events()) == 0 {
+		t.Error("no trace events recorded")
+	}
+}
+
+// TestRunFFObserved checks the FastFlow run's metrics.
+func TestRunFFObserved(t *testing.T) {
+	p := TestParams()
+	reg := telemetry.New()
+	im, err := RunFFObserved(p, 3, Observer{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Complete() {
+		t.Fatal("incomplete frame")
+	}
+	lbl := telemetry.Labels{"pipeline": "mandel-ff", "stage": "compute"}
+	if v := reg.Counter("ff_stage_items_in_total", lbl).Value(); v != int64(p.Dim) {
+		t.Errorf("compute items in = %d, want %d", v, p.Dim)
+	}
+	if v := reg.Histogram("ff_stage_service_seconds", nil,
+		telemetry.Labels{"pipeline": "mandel-ff", "stage": "show"}).Count(); v != int64(p.Dim) {
+		t.Errorf("show service count = %d, want %d", v, p.Dim)
+	}
+}
+
+// TestRunTBBObserved checks the TBB run's metrics.
+func TestRunTBBObserved(t *testing.T) {
+	p := TestParams()
+	sched := tbb.NewScheduler(3)
+	defer sched.Shutdown()
+	reg := telemetry.New()
+	im := RunTBBObserved(p, sched, 6, Observer{Metrics: reg})
+	if !im.Complete() {
+		t.Fatal("incomplete frame")
+	}
+	lbl := telemetry.Labels{"pipeline": "mandel-tbb"}
+	if v := reg.Counter("tbb_pipeline_items_total", lbl).Value(); v != int64(p.Dim) {
+		t.Errorf("pipeline items = %d, want %d", v, p.Dim)
+	}
+}
+
+// TestRunGPUFTTelemetry checks the fault-tolerant GPU runner feeds the
+// device metrics.
+func TestRunGPUFTTelemetry(t *testing.T) {
+	p := TestParams()
+	reg := telemetry.New()
+	im, _, err := RunGPUFT(p, FTConfig{NGPUs: 2, BatchSize: 16, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Complete() {
+		t.Fatal("incomplete frame")
+	}
+	var kernels int64
+	for _, d := range []string{"gpu0", "gpu1"} {
+		kernels += reg.Counter("gpu_kernels_launched_total", telemetry.Labels{"device": d}).Value()
+	}
+	want := int64((p.Dim + 15) / 16)
+	if kernels != want {
+		t.Errorf("kernels launched = %d, want %d", kernels, want)
+	}
+}

@@ -6,8 +6,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -71,6 +74,116 @@ func (s *Sample) Max() float64 {
 	return max
 }
 
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs by linear
+// interpolation between order statistics (the "exclusive" method is not
+// needed at our sample sizes). It copies and sorts; xs is left untouched.
+// An empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Percentile returns the p-th percentile of the sample's observations.
+func (s *Sample) Percentile(p float64) float64 { return Percentile(s.xs, p) }
+
+// Histogram is a fixed-bucket histogram: Bounds are ascending upper bounds,
+// with an implicit +Inf bucket at the end (Counts has one more element than
+// Bounds). It is the bucket arithmetic shared by the telemetry registry and
+// the bench harness; it is not safe for concurrent use — telemetry wraps it
+// with atomics.
+type Histogram struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// BucketIndex returns the index of the bucket v falls in (the first bound
+// >= v, or the +Inf bucket).
+func (h *Histogram) BucketIndex(v float64) int {
+	for i, b := range h.Bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.Bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.Counts[h.BucketIndex(v)]++
+	h.Sum += v
+	h.Count++
+}
+
+// Mean returns the mean of the observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket holding it. Values in the +Inf bucket are attributed to
+// the last finite bound (the estimate saturates there). Empty histograms
+// yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			frac := 1 - (float64(cum)-rank)/float64(c)
+			return lo + frac*(h.Bounds[i]-lo)
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Row is one labelled measurement of a figure: a time (or throughput) plus
 // the derived speedup column.
 type Row struct {
@@ -78,6 +191,10 @@ type Row struct {
 	Value   float64 // seconds or MB/s, per the figure's unit
 	Speedup float64 // vs the figure's baseline (0 = not applicable)
 	Stddev  float64
+	// Extra holds named auxiliary measures of the row — utilization
+	// fractions, overlap estimates — rendered after the bar and carried
+	// into the JSON records.
+	Extra map[string]float64
 }
 
 // Table renders rows in the fixed-width layout cmd/figures prints.
@@ -121,9 +238,58 @@ func (t *Table) String() string {
 		if r.Stddev > 0 {
 			fmt.Fprintf(&b, " ±%.3f", r.Stddev)
 		}
-		fmt.Fprintf(&b, "  %s\n", bar)
+		fmt.Fprintf(&b, "  %s", bar)
+		if len(r.Extra) > 0 {
+			keys := make([]string, 0, len(r.Extra))
+			for k := range r.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("  [")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "%s=%.0f%%", k, r.Extra[k]*100)
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// RowRecord is the machine-readable form of a Row, one JSON object per
+// figure row (cmd/figures -json; CI archives these as BENCH_*.json).
+type RowRecord struct {
+	Figure  string             `json:"figure"`
+	Label   string             `json:"name"`
+	Unit    string             `json:"unit"`
+	Mean    float64            `json:"mean"`
+	Stddev  float64            `json:"stddev"`
+	Speedup float64            `json:"speedup,omitempty"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+// WriteJSON emits the table as JSON Lines: one RowRecord per row, tagged
+// with the figure id.
+func (t *Table) WriteJSON(w io.Writer, figure string) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Rows {
+		rec := RowRecord{
+			Figure:  figure,
+			Label:   r.Label,
+			Unit:    t.Unit,
+			Mean:    r.Value,
+			Stddev:  r.Stddev,
+			Speedup: r.Speedup,
+			Extra:   r.Extra,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Find returns the row with the given label, if present.

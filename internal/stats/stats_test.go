@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -98,5 +99,95 @@ func TestSampleInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("Sample.Percentile(50) = %v, want 3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count)
+	}
+	if want := []int64{2, 1, 1, 1}; len(h.Counts) != len(want) {
+		t.Fatalf("Counts = %v, want %v", h.Counts, want)
+	} else {
+		for i := range want {
+			if h.Counts[i] != want[i] {
+				t.Fatalf("Counts = %v, want %v", h.Counts, want)
+			}
+		}
+	}
+	if got := h.Mean(); math.Abs(got-111.24) > 1e-9 {
+		t.Errorf("Mean = %v, want 111.24", got)
+	}
+	// Median rank falls in the (1,10] bucket.
+	if q := h.Quantile(0.5); q <= 1 || q > 10 {
+		t.Errorf("Quantile(0.5) = %v, want in (1,10]", q)
+	}
+	// The +Inf bucket saturates at the last finite bound.
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with descending bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 1)
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := &Table{Title: "T", Unit: "s"}
+	tb.Add(Row{Label: "Sequential", Value: 400, Speedup: 1})
+	tb.Add(Row{Label: "CUDA batch 32", Value: 25, Speedup: 16, Stddev: 0.5,
+		Extra: map[string]float64{"kernel_util": 0.8}})
+	var b strings.Builder
+	if err := tb.WriteJSON(&b, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), b.String())
+	}
+	var rec RowRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Figure != "fig1" || rec.Label != "CUDA batch 32" || rec.Mean != 25 ||
+		rec.Speedup != 16 || rec.Stddev != 0.5 || rec.Extra["kernel_util"] != 0.8 {
+		t.Errorf("bad record: %+v", rec)
 	}
 }

@@ -3,6 +3,8 @@ package tbb
 import (
 	"fmt"
 	"sync"
+
+	"streamgpu/internal/telemetry"
 )
 
 // Mode is a filter's concurrency mode, mirroring tbb::filter modes.
@@ -73,6 +75,9 @@ type serialState struct {
 // number of in-flight items (tokens).
 type Pipeline struct {
 	filters []*Filter
+	tel     *pipeTelem
+	telReg  *telemetry.Registry
+	telName string
 }
 
 // NewPipeline builds a pipeline. The first filter must be Serial or
@@ -101,13 +106,24 @@ func (p *Pipeline) Run(s *Scheduler, maxTokens int) {
 	for i := 0; i < maxTokens; i++ {
 		tokens <- struct{}{}
 	}
+	if p.telReg != nil {
+		p.telReg.GaugeFunc("tbb_tokens_in_flight",
+			telemetry.Labels{"pipeline": p.telName},
+			func() float64 { return float64(maxTokens - len(tokens)) })
+	}
 	g := s.NewGroup()
 	var seq uint64
 	input := p.filters[0]
 	for range tokens {
-		v := input.fn(nil)
+		v := p.applyFilter(input, 0, nil)
 		if v == nil {
+			// Recycle the end-of-stream probe's token so the in-flight
+			// gauge reads zero once the pipeline drains.
+			tokens <- struct{}{}
 			break
+		}
+		if p.tel != nil {
+			p.tel.items.Inc()
 		}
 		it := &item{seq: seq, idx: 1, val: v}
 		seq++
@@ -124,7 +140,7 @@ func (p *Pipeline) process(w *Worker, g *Group, it *item, tokens chan struct{}) 
 	for it.idx < len(p.filters) {
 		f := p.filters[it.idx]
 		if f.mode == Parallel {
-			it.val = f.fn(it.val)
+			it.val = p.applyFilter(f, it.idx, it.val)
 			it.idx++
 			continue
 		}
@@ -144,7 +160,7 @@ func (p *Pipeline) process(w *Worker, g *Group, it *item, tokens chan struct{}) 
 		st.busy = true
 		st.mu.Unlock()
 
-		it.val = f.fn(it.val)
+		it.val = p.applyFilter(f, it.idx, it.val)
 
 		st.mu.Lock()
 		st.busy = false

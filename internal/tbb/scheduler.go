@@ -18,6 +18,7 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	pending atomic.Int64 // tasks submitted but not yet finished
 	closed  atomic.Bool
+	tel     atomic.Pointer[schedTelem]
 }
 
 // Worker is one scheduler thread. Tasks receive their executing Worker and
@@ -67,6 +68,9 @@ func (s *Scheduler) Go(t Task) {
 func (w *Worker) Spawn(t Task) {
 	w.s.pending.Add(1)
 	if !w.dq.pushBottom(t) {
+		if tm := w.s.tel.Load(); tm != nil {
+			tm.overflow.Inc()
+		}
 		w.s.inbox <- t
 	}
 }
@@ -79,6 +83,9 @@ func (w *Worker) Scheduler() *Scheduler { return w.s }
 
 // run executes a task and maintains the pending count.
 func (w *Worker) run(t Task) {
+	if tm := w.s.tel.Load(); tm != nil {
+		tm.tasks.Inc()
+	}
 	t(w)
 	w.s.pending.Add(-1)
 }
@@ -137,6 +144,9 @@ func (w *Worker) stealOnce() (Task, bool) {
 			continue
 		}
 		if t, ok := v.dq.steal(); ok {
+			if tm := w.s.tel.Load(); tm != nil {
+				tm.steals.Inc()
+			}
 			return t, true
 		}
 	}

@@ -1,0 +1,95 @@
+package tbb
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"streamgpu/internal/telemetry"
+)
+
+// TestSchedulerTelemetry runs instrumented tasks and checks the counters and
+// pool gauges.
+func TestSchedulerTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	s := NewScheduler(4)
+	defer s.Shutdown()
+	s.SetTelemetry(reg)
+
+	const n = 200
+	var ran atomic.Int64
+	g := s.NewGroup()
+	for i := 0; i < n; i++ {
+		g.Go(func(w *Worker) {
+			// Fan out one child per task so deques see traffic.
+			g.SpawnIn(w, func(*Worker) { ran.Add(1) })
+			ran.Add(1)
+		})
+	}
+	g.Wait()
+	if ran.Load() != 2*n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), 2*n)
+	}
+	if v := reg.Counter("tbb_tasks_total", nil).Value(); v != 2*n {
+		t.Errorf("tbb_tasks_total = %d, want %d", v, 2*n)
+	}
+	if v := reg.Gauge("tbb_tasks_pending", nil).Value(); v != 0 {
+		t.Errorf("tbb_tasks_pending = %v after Wait, want 0", v)
+	}
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tbb_worker_deque_depth{worker="0"}`,
+		`tbb_worker_deque_depth{worker="3"}`,
+		"tbb_inbox_depth",
+		"tbb_steals_total",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestPipelineTelemetry runs an instrumented 3-filter pipeline and checks
+// the per-filter histograms and item counter.
+func TestPipelineTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	s := NewScheduler(4)
+	defer s.Shutdown()
+
+	const n = 100
+	next := 0
+	var out []int
+	p := NewPipeline(
+		NewFilter(SerialInOrder, func(any) any {
+			if next >= n {
+				return nil
+			}
+			next++
+			return next
+		}),
+		NewFilter(Parallel, func(v any) any { return v.(int) * 2 }),
+		NewFilter(SerialInOrder, func(v any) any {
+			out = append(out, v.(int))
+			return v
+		}),
+	)
+	p.SetTelemetry(reg, "test")
+	p.Run(s, 8)
+
+	if len(out) != n {
+		t.Fatalf("pipeline delivered %d items, want %d", len(out), n)
+	}
+	if v := reg.Counter("tbb_pipeline_items_total", telemetry.Labels{"pipeline": "test"}).Value(); v != n {
+		t.Errorf("items total = %d, want %d", v, n)
+	}
+	if v := reg.Histogram("tbb_filter_service_seconds", nil,
+		telemetry.Labels{"pipeline": "test", "filter": "f1", "mode": "parallel"}).Count(); v != n {
+		t.Errorf("parallel filter observations = %d, want %d", v, n)
+	}
+	if v := reg.Gauge("tbb_tokens_in_flight", telemetry.Labels{"pipeline": "test"}).Value(); v != 0 {
+		t.Errorf("tokens in flight after Run = %v, want 0", v)
+	}
+}

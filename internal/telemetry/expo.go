@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): a # TYPE line per family, one sample line per series,
+// histograms expanded into cumulative _bucket/_sum/_count samples.
+func (r *Registry) WriteProm(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			if m.Kind != "histogram" {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					m.Name, promLabels(s.Labels, "", 0), promFloat(s.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					m.Name, promLabels(s.Labels, "le", b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				m.Name, promLabels(s.Labels, "", 0), promFloat(s.Sum),
+				m.Name, promLabels(s.Labels, "", 0), s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat renders a sample value the way Prometheus clients do.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set, optionally extended with an le bound.
+func promLabels(labels Labels, extraKey string, le float64) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, promFloat(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Handler serves the registry in the text exposition format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// Server is a running metrics endpoint started by Serve.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve binds addr (":0" picks a free port) and serves the observability
+// surface in a background goroutine:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON snapshot (buckets, quantiles)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The pprof handlers ride along because the paper-level question "which
+// stage is slow?" (metrics) usually escalates to "what is it doing?"
+// (profiles); one flag serves both.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRegistry exercises the registry the way the runtimes do:
+// many writer goroutines hammering counters, gauges and histograms while a
+// scraper goroutine snapshots and renders. Run under -race (CI does).
+func TestConcurrentRegistry(t *testing.T) {
+	r := New()
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	var scraped sync.WaitGroup
+	scraped.Add(1)
+	go func() {
+		defer scraped.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.WriteProm(io.Discard)
+			_ = r.WriteJSON(io.Discard)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Get-or-create races on purpose: every writer asks for the same
+			// instruments.
+			c := r.Counter("items_total", Labels{"stage": "compute"})
+			g := r.Gauge("depth", Labels{"queue": "q0"})
+			h := r.Histogram("svc_seconds", nil, Labels{"stage": "compute"})
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%10) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraped.Wait()
+
+	if got := r.Counter("items_total", Labels{"stage": "compute"}).Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Gauge("depth", Labels{"queue": "q0"}).Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := r.Histogram("svc_seconds", nil, Labels{"stage": "compute"}).Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestExpositionGolden pins the text exposition format exactly.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter("ff_stage_items_in_total", Labels{"pipeline": "mandel", "stage": "compute"}).Add(42)
+	r.Gauge("ff_queue_depth", Labels{"pipeline": "mandel", "queue": "source->compute"}).Set(7)
+	h := r.Histogram("gpu_h2d_seconds", []float64{0.001, 0.1}, Labels{"device": "gpu0"})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ff_queue_depth gauge
+ff_queue_depth{pipeline="mandel",queue="source->compute"} 7
+# TYPE ff_stage_items_in_total counter
+ff_stage_items_in_total{pipeline="mandel",stage="compute"} 42
+# TYPE gpu_h2d_seconds histogram
+gpu_h2d_seconds_bucket{device="gpu0",le="0.001"} 1
+gpu_h2d_seconds_bucket{device="gpu0",le="0.1"} 2
+gpu_h2d_seconds_bucket{device="gpu0",le="+Inf"} 3
+gpu_h2d_seconds_sum{device="gpu0"} 3.0505
+gpu_h2d_seconds_count{device="gpu0"} 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", nil)
+	g := r.Gauge("g", nil)
+	h := r.Histogram("h_seconds", nil, nil)
+	r.GaugeFunc("gf", nil, func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read 0")
+	}
+	if snap := r.Snapshot(); len(snap.Metrics) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", nil)
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("empty metric name did not panic")
+		}
+	}()
+	r.Counter("", nil)
+}
+
+// TestGaugeFuncReplace verifies the re-registration contract: a pipeline
+// re-run re-points its queue gauges at the new queues.
+func TestGaugeFuncReplace(t *testing.T) {
+	r := New()
+	r.GaugeFunc("depth", nil, func() float64 { return 1 })
+	r.GaugeFunc("depth", nil, func() float64 { return 2 })
+	if got := r.Gauge("depth", nil).Value(); got != 2 {
+		t.Errorf("gauge = %v, want the replacement callback's 2", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := New()
+	a := r.Counter("c_total", Labels{"x": "1"})
+	b := r.Counter("c_total", Labels{"x": "1"})
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("c_total", Labels{"x": "2"})
+	if a == other {
+		t.Error("different labels must return a different counter")
+	}
+}
+
+// TestServe spins up the HTTP surface and scrapes it, the way the CI smoke
+// step does.
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("up_total", nil).Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "up_total 1") {
+			t.Errorf("scrape missing sample: %q", body)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", nil, nil)
+	h.Observe(0.01)
+	hs := h.Snapshot()
+	if len(hs.Bounds) != len(SecondsBuckets) {
+		t.Fatalf("bounds = %v, want SecondsBuckets", hs.Bounds)
+	}
+	if q := hs.Quantile(0.5); q <= 0 || q > 0.064 {
+		t.Errorf("median %v outside the observed bucket", q)
+	}
+}

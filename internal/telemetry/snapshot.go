@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Snapshot is every metric of a registry at one instant — the JSON sink's
+// document and the exposition writer's input.
+type Snapshot struct {
+	TakenAt time.Time `json:"taken_at"`
+	Metrics []Metric  `json:"metrics"`
+}
+
+// Metric is one family: a name, a kind, and its labelled series.
+type Metric struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Series []Series `json:"series"`
+}
+
+// Series is one labelled instrument's reading.
+type Series struct {
+	Labels Labels `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value"`
+	// Histogram readings: cumulative buckets plus estimated quantiles.
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Buckets   []Bucket           `json:"buckets,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket (Prometheus "le" semantics).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no infinities).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		LE    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	var le any = b.LE
+	if b.LE > 1e308 {
+		le = "+Inf"
+	}
+	return json.Marshal(alias{LE: le, Count: b.Count})
+}
+
+// WriteJSON writes the registry's current snapshot as indented JSON — the
+// machine-readable sink behind the cmd binaries' snapshot output and the
+// /metrics.json endpoint.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("run")
+	child := root.Child("prepare")
+	child.Annotate("figure", "fig1")
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Children end first, so they appear first.
+	if spans[0].Name != "prepare" || spans[1].Name != "run" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child parent = %d, want root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", spans[1].Parent)
+	}
+	if spans[0].Attrs["figure"] != "fig1" {
+		t.Errorf("attrs = %v", spans[0].Attrs)
+	}
+}
+
+func TestTracerCapEvictsOldest(t *testing.T) {
+	tr := NewTracer(2)
+	for _, name := range []string{"a", "b", "c"} {
+		tr.Start(name).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "b" || spans[1].Name != "c" {
+		t.Fatalf("retained %v, want b then c", spans)
+	}
+	if tr.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped())
+	}
+}
+
+func TestStreamTracer(t *testing.T) {
+	st := NewStreamTracer(2)
+	now := time.Now()
+	for i := int64(0); i < 3; i++ {
+		st.Observe(i, "compute", now, now.Add(time.Millisecond))
+	}
+	ev := st.Events()
+	if len(ev) != 2 || ev[0].Item != 1 || ev[1].Item != 2 {
+		t.Fatalf("retained %v, want items 1 and 2", ev)
+	}
+	if st.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped())
+	}
+}
+
+func TestStreamTracerConcurrent(t *testing.T) {
+	st := NewStreamTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			now := time.Now()
+			for i := int64(0); i < 500; i++ {
+				st.Observe(i, "stage", now, now)
+				_ = st.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := int64(len(st.Events())) + st.Dropped(); got != 4*500 {
+		t.Errorf("retained+dropped = %d, want 2000", got)
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("run").End()
+	st := NewStreamTracer(8)
+	st.Observe(0, "compute", time.Now(), time.Now())
+
+	var b strings.Builder
+	if err := WriteTrace(&b, tr, st); err != nil {
+		t.Fatal(err)
+	}
+	var doc Trace
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	if len(doc.Spans) != 1 || len(doc.Items) != 1 {
+		t.Fatalf("doc = %+v, want 1 span and 1 item", doc)
+	}
+	// Nil tracers are fine too: the document is just empty.
+	b.Reset()
+	if err := WriteTrace(&b, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTracers(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	s.Annotate("k", "v")
+	c := s.Child("y")
+	c.End()
+	s.End()
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must be empty")
+	}
+	var st *StreamTracer
+	st.Observe(1, "s", time.Now(), time.Now())
+	if st.Events() != nil || st.Dropped() != 0 {
+		t.Error("nil stream tracer must be empty")
+	}
+}
