@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench-json verify
+.PHONY: build vet lint test race bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,24 @@ race:
 	$(GO) test -race ./...
 
 # bench-json emits the Fig. 1 table as machine-readable JSONL (one row per
-# optimization step, including the utilization columns) into BENCH_fig1.json.
-# -niter 200 keeps it a short slice, not a publication-grade run.
+# optimization step, including the utilization columns) into BENCH_fig1.json,
+# and the host-throughput suite (real wall clock + allocs/op, cmd/benchhost)
+# into BENCH_host.json. -niter 200 keeps Fig. 1 a short slice, not a
+# publication-grade run.
 bench-json:
 	$(GO) run ./cmd/figures -fig 1 -json -niter 200 > BENCH_fig1.json
+	$(GO) run ./cmd/benchhost > BENCH_host.json
 
-# verify mirrors .github/workflows/ci.yml exactly.
+# bench-gate compares a fresh host-suite run against the committed
+# BENCH_baseline.json and fails on regression: a throughput drop of more
+# than 15% after calibration scaling, or any allocs/op increase beyond 0.25
+# on an entry the baseline pins (see DESIGN.md §10).
+bench-gate:
+	$(GO) run ./cmd/benchhost > BENCH_host.json
+	$(GO) run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_host.json
+
+# verify mirrors the test and lint jobs of .github/workflows/ci.yml. The
+# bench-gate job is separate on purpose: benchmark numbers want a quiet
+# machine, so run `make bench-gate` deliberately, not as part of every
+# verify.
 verify: build vet lint test race

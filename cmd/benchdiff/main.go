@@ -1,0 +1,90 @@
+// Command benchdiff compares a fresh host-benchmark report (cmd/benchhost
+// output) against a committed baseline and exits non-zero on regression:
+//
+//	go run ./cmd/benchhost > BENCH_host.json
+//	go run ./cmd/benchdiff -base BENCH_baseline.json -new BENCH_host.json
+//
+// Throughput thresholds are normalized by each report's Calib score (the
+// machine's single-thread SHA-1 MB/s), so the committed baseline remains
+// meaningful on faster or slower hardware. A result fails when its value
+// drops more than -max-regress below the scaled baseline, or when its
+// allocs/op exceeds the baseline count by more than -alloc-slack. Entries
+// with a negative allocs/op on either side are alloc-exempt (the suite
+// marks multi-goroutine measurements that way).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgpu/internal/bench"
+)
+
+func main() {
+	basePath := flag.String("base", "BENCH_baseline.json", "committed baseline report")
+	newPath := flag.String("new", "BENCH_host.json", "fresh report to check")
+	maxRegress := flag.Float64("max-regress", 0.15, "tolerated fractional throughput drop after calibration scaling")
+	allocSlack := flag.Float64("alloc-slack", 0.25, "tolerated absolute allocs/op increase")
+	flag.Parse()
+
+	base, err := loadReport(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := loadReport(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := bench.Diff(base, fresh, bench.DiffOptions{
+		MaxRegress: *maxRegress,
+		AllocSlack: *allocSlack,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("calib: base %.1f, fresh %.1f (scale %.3f)\n",
+		base.Calib, fresh.Calib, fresh.Calib/base.Calib)
+	fmt.Printf("%-20s %12s %12s %7s %9s %9s\n",
+		"name", "base*", "fresh", "ratio", "allocs0", "allocs1")
+	for _, e := range entries {
+		status := "ok"
+		if e.Failed {
+			status = "FAIL: " + e.Reason
+		}
+		fmt.Printf("%-20s %12.2f %12.2f %6.2fx %9s %9s  %s\n",
+			e.Name, e.Base, e.Fresh, e.Ratio,
+			fmtAllocs(e.BaseAllocs), fmtAllocs(e.NewAllocs), status)
+	}
+	if bad := bench.DiffFailures(entries); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", len(bad))
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func loadReport(path string) (bench.HostReport, error) {
+	var rep bench.HostReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func fmtAllocs(a float64) string {
+	if a < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", a)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

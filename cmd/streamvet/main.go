@@ -9,6 +9,7 @@
 //	faultseed  fault.Config in tests must set Seed
 //	metriclabel  telemetry metric registrations must use non-empty,
 //	           kind-consistent names and one call site per series
+//	poolrelease  pool.Get values must be released or escape
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ import (
 	"streamgpu/internal/analysis/gpufree"
 	"streamgpu/internal/analysis/gpuwait"
 	"streamgpu/internal/analysis/metriclabel"
+	"streamgpu/internal/analysis/poolrelease"
 	"streamgpu/internal/analysis/runerr"
 	"streamgpu/internal/analysis/stagesend"
 )
@@ -38,6 +40,7 @@ var suite = []*analysis.Analyzer{
 	gpufree.Analyzer,
 	gpuwait.Analyzer,
 	metriclabel.Analyzer,
+	poolrelease.Analyzer,
 	runerr.Analyzer,
 	stagesend.Analyzer,
 }

@@ -1,0 +1,247 @@
+// Package poolrelease defines an analyzer enforcing the free-list ownership
+// contract: a value obtained from a pool.Pool or pool.Slices Get must reach
+// a Release on some path of the acquiring function, or escape it (returned,
+// stored, sent, or handed to another function that takes over ownership).
+//
+// Pooled containers that are acquired and dropped silently defeat the whole
+// point of the free list — every such Get is a fresh allocation on the next
+// cycle, and the pool's gets/releases counters drift apart without any test
+// failing. The analyzer is intentionally flow-insensitive, like gpufree: one
+// Release call (on the pool, or a Release method on the value itself, as
+// dedup.Batch recycling does — including inside a defer or closure) anywhere
+// in the function satisfies the contract.
+//
+// Uses that do NOT count as an escape: method calls on the value other than
+// Release, field access, indexing, and reslicing — those borrow the
+// container without moving ownership. Everything else — returns, composite
+// literals, channel sends, unknown helpers — conservatively counts as an
+// ownership transfer to code the analyzer cannot see.
+package poolrelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamgpu/internal/analysis"
+)
+
+const poolPkg = "streamgpu/internal/pool"
+
+// Analyzer flags pooled values that are neither released nor escape.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolrelease",
+	Doc: "a value from pool.Get must be released on some path or escape the acquiring function; " +
+		"dropped containers turn every later Get into a fresh allocation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The pool package's own tests acquire without releasing on purpose (to
+	// exercise the miss and gauge paths); the contract applies to users.
+	if pass.Pkg != nil && pass.Pkg.Path() == poolPkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// acquire is one tracked Get result variable.
+type acquire struct {
+	call *ast.CallExpr
+	obj  types.Object
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var acqs []acquire
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isPoolGet(info, call) {
+				pass.Reportf(call.Pos(), "pooled value from Get is discarded without Release")
+			}
+		case *ast.AssignStmt:
+			for _, a := range getAssigns(info, stmt) {
+				if a.obj == nil {
+					pass.Reportf(a.call.Pos(), "pooled value from Get is assigned to _ and is lost to the free list; keep it and Release it")
+					continue
+				}
+				acqs = append(acqs, a)
+			}
+		}
+		return true
+	})
+	for _, a := range acqs {
+		released, escaped := traceUses(info, body, a.obj)
+		if !released && !escaped {
+			pass.Reportf(a.call.Pos(), "pooled value %s is never released and does not escape; return it to its pool with Release",
+				a.obj.Name())
+		}
+	}
+}
+
+// getAssigns extracts the variables bound by stmt's pool Get calls. A nil
+// obj means the value went to the blank identifier.
+func getAssigns(info *types.Info, stmt *ast.AssignStmt) []acquire {
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return nil // Get returns a single value; tuple forms are not it
+	}
+	var out []acquire
+	for i, rhs := range stmt.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPoolGet(info, call) {
+			out = append(out, acquire{call: call, obj: lhsObj(info, stmt.Lhs[i])})
+		}
+	}
+	return out
+}
+
+// lhsObj resolves the object bound by an assignment target, nil for blank;
+// non-ident targets (fields, indexes) count as escapes and are not tracked.
+func lhsObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return &escapeSentinel
+	}
+	if id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return &escapeSentinel
+}
+
+// escapeSentinel stands for "assigned somewhere we cannot track" — treated
+// as escaped, never reported.
+var escapeSentinel = struct{ types.Object }{}
+
+// traceUses classifies every use of obj inside body.
+func traceUses(info *types.Info, body *ast.BlockStmt, obj types.Object) (released, escaped bool) {
+	if obj == types.Object(&escapeSentinel) {
+		return false, true
+	}
+	analysis.WithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		switch classifyUse(info, id, stack) {
+		case useRelease:
+			released = true
+		case useEscape:
+			escaped = true
+		}
+		return true
+	})
+	return released, escaped
+}
+
+type useKind int
+
+const (
+	useBorrow  useKind = iota // read-only use; does not discharge the contract
+	useRelease                // handed back to a pool
+	useEscape                 // ownership left the function
+)
+
+// classifyUse decides what one identifier occurrence means for ownership.
+func classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node) useKind {
+	if len(stack) == 0 {
+		return useEscape
+	}
+	parent := stack[len(stack)-1]
+
+	// Anywhere under a return statement: the value leaves the function.
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.ReturnStmt); ok {
+			return useEscape
+		}
+	}
+
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// v.M(...) or v.Field: methods and fields borrow the container;
+		// a Release method (dedup.Batch style) discharges the contract.
+		if p.X == id {
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == p && p.Sel.Name == "Release" {
+					return useRelease
+				}
+			}
+			return useBorrow
+		}
+		return useEscape
+	case *ast.IndexExpr:
+		if p.X == id {
+			return useBorrow // s[i]: element access borrows the backing array
+		}
+		return useEscape
+	case *ast.SliceExpr:
+		if p.X == id {
+			return useBorrow // s[:n]: reslicing in place, common for reuse
+		}
+		return useEscape
+	case *ast.CallExpr:
+		// Value passed as an argument.
+		return classifyArg(info, p)
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				return useBorrow // reassignment target, not a read
+			}
+		}
+		return useEscape // aliased into another variable
+	}
+	return useEscape // composite literal, send, unary &, range, binary op, ...
+}
+
+// classifyArg decides whether passing the value to call transfers ownership.
+// Handing it to a pool's Release is the discharge; any other callee — known
+// or builtin — conservatively takes over ownership (append may reallocate,
+// helpers may retain).
+func classifyArg(info *types.Info, call *ast.CallExpr) useKind {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return useEscape
+	}
+	if fn.Name() == "Release" && isPoolMethod(fn) {
+		return useRelease
+	}
+	return useEscape
+}
+
+// isPoolGet reports whether call invokes Get on a pool.Pool or pool.Slices
+// (including the Bytes and Int32s aliases, which share the Slices methods).
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Name() == "Get" && isPoolMethod(fn)
+}
+
+// isPoolMethod reports whether fn's receiver is one of the pool package's
+// free-list types.
+func isPoolMethod(fn *types.Func) bool {
+	recv := analysis.ReceiverNamed(fn)
+	if recv == nil {
+		return false
+	}
+	obj := recv.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != poolPkg {
+		return false
+	}
+	switch obj.Name() {
+	case "Pool", "Slices":
+		return true
+	}
+	return false
+}

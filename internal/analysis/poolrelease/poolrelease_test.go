@@ -1,0 +1,12 @@
+package poolrelease_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/poolrelease"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, poolrelease.Analyzer, "testdata/flagged", "testdata/clean")
+}

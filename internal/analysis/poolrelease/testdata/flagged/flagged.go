@@ -1,0 +1,58 @@
+// Fixture: pooled values that leak — acquired from a free list but never
+// released and never escaping.
+package fixture
+
+import "streamgpu/internal/pool"
+
+type thing struct{ n int }
+
+func (t *thing) Release() { things.Release(t) }
+
+var (
+	things = pool.New[*thing]("fixture.things", func() *thing { return new(thing) })
+	bufs   = pool.NewBytes("fixture.bufs")
+	starts = pool.NewInt32s("fixture.starts")
+	sink   int
+)
+
+func leaksObject() {
+	t := things.Get() // want `never released`
+	t.n = 7           // field access borrows; the container is still lost
+}
+
+func leaksSlice() {
+	b := bufs.Get(1024) // want `never released`
+	b[0] = 1
+	sink = int(b[0])
+}
+
+func leaksAfterReslice() {
+	s := starts.Get(512) // want `never released`
+	s = s[:0]
+}
+
+func discards() {
+	things.Get() // want `discarded without Release`
+}
+
+func blanks() {
+	_ = bufs.Get(64) // want `assigned to _`
+}
+
+func mustGet() *thing {
+	t := things.Get()
+	t.n = 1
+	return t // escapes: helper hands ownership to its caller
+}
+
+func helperLeaks() {
+	t := mustGet() // not a Get call: the helper owns the contract
+	t.n = 2
+}
+
+func borrowsDoNotDischarge() {
+	t := things.Get() // want `never released`
+	use(t.n)          // reading a field through the selector borrows
+}
+
+func use(int) {}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions configures a baseline comparison.
+type DiffOptions struct {
+	// MaxRegress is the tolerated fractional throughput drop after
+	// calibration scaling (default 0.15: fail when a fresh value falls more
+	// than 15% below the baseline).
+	MaxRegress float64
+	// AllocSlack is the tolerated absolute allocs/op increase (default
+	// 0.25, absorbing counter jitter from the runtime itself). Entries whose
+	// baseline or fresh count is negative are skipped (not measured).
+	AllocSlack float64
+}
+
+func (o DiffOptions) maxRegress() float64 {
+	if o.MaxRegress <= 0 {
+		return 0.15
+	}
+	return o.MaxRegress
+}
+
+func (o DiffOptions) allocSlack() float64 {
+	if o.AllocSlack <= 0 {
+		return 0.25
+	}
+	return o.AllocSlack
+}
+
+// DiffEntry is one compared measurement.
+type DiffEntry struct {
+	Name string
+	Unit string
+	// Base is the baseline value scaled by the calibration ratio — the
+	// throughput the baseline machine's numbers predict for this machine.
+	Base, Fresh float64
+	// Ratio is Fresh/Base (>1 is faster than the scaled baseline).
+	Ratio                 float64
+	BaseAllocs, NewAllocs float64
+	Failed                bool
+	Reason                string
+}
+
+// Diff compares a fresh report against a committed baseline. Throughput
+// thresholds are scaled by the Calib ratio so a baseline recorded on
+// different hardware stays meaningful: what is compared is each entry's
+// value relative to the machine's single-thread SHA-1 speed.
+func Diff(base, fresh HostReport, opt DiffOptions) ([]DiffEntry, error) {
+	if base.Calib <= 0 || fresh.Calib <= 0 {
+		return nil, fmt.Errorf("bench: reports need positive calib scores (base %v, fresh %v)", base.Calib, fresh.Calib)
+	}
+	scale := fresh.Calib / base.Calib
+	baseByName := make(map[string]HostResult, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var out []DiffEntry
+	for _, fr := range fresh.Results {
+		br, ok := baseByName[fr.Name]
+		if !ok {
+			continue // new measurement: nothing to regress against
+		}
+		e := DiffEntry{
+			Name:       fr.Name,
+			Unit:       fr.Unit,
+			Base:       br.Value * scale,
+			Fresh:      fr.Value,
+			BaseAllocs: br.AllocsPerOp,
+			NewAllocs:  fr.AllocsPerOp,
+		}
+		if e.Base > 0 {
+			e.Ratio = e.Fresh / e.Base
+		}
+		if e.Fresh < e.Base*(1-opt.maxRegress()) {
+			e.Failed = true
+			e.Reason = fmt.Sprintf("throughput %.2f below %.2f (scaled baseline −%d%%)",
+				e.Fresh, e.Base*(1-opt.maxRegress()), int(opt.maxRegress()*100))
+		}
+		if br.AllocsPerOp >= 0 && fr.AllocsPerOp >= 0 &&
+			fr.AllocsPerOp > br.AllocsPerOp+opt.allocSlack() {
+			e.Failed = true
+			if e.Reason != "" {
+				e.Reason += "; "
+			}
+			e.Reason += fmt.Sprintf("allocs/op %.2f above baseline %.2f", fr.AllocsPerOp, br.AllocsPerOp)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// DiffFailures returns the entries that regressed.
+func DiffFailures(entries []DiffEntry) []DiffEntry {
+	var bad []DiffEntry
+	for _, e := range entries {
+		if e.Failed {
+			bad = append(bad, e)
+		}
+	}
+	return bad
+}

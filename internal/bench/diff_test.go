@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(calib float64, results ...HostResult) HostReport {
+	return HostReport{Schema: "streamgpu-hostbench/v1", Calib: calib, Results: results}
+}
+
+func res(name string, value, allocs float64) HostResult {
+	return HostResult{Name: name, Unit: "MB/s", Value: value, AllocsPerOp: allocs}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := report(100, res("dedup_seq", 20, -1), res("lzss", 10, 0))
+	fresh := report(100, res("dedup_seq", 18, -1), res("lzss", 9.5, 0))
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if bad := DiffFailures(entries); len(bad) != 0 {
+		t.Fatalf("unexpected failures: %+v", bad)
+	}
+}
+
+func TestDiffFailsOnThroughputDrop(t *testing.T) {
+	base := report(100, res("dedup_seq", 20, -1))
+	fresh := report(100, res("dedup_seq", 16, -1)) // -20% > 15% threshold
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DiffFailures(entries)
+	if len(bad) != 1 || !strings.Contains(bad[0].Reason, "throughput") {
+		t.Fatalf("want one throughput failure, got %+v", bad)
+	}
+}
+
+func TestDiffCalibrationScaling(t *testing.T) {
+	// The fresh machine is half as fast (calib 50 vs 100); an absolute drop
+	// from 20 to 11 MB/s is fine because the scaled baseline is 10.
+	base := report(100, res("dedup_seq", 20, -1))
+	fresh := report(50, res("dedup_seq", 11, -1))
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := DiffFailures(entries); len(bad) != 0 {
+		t.Fatalf("calibration scaling did not apply: %+v", bad)
+	}
+	if got := entries[0].Base; got != 10 {
+		t.Fatalf("scaled baseline = %v, want 10", got)
+	}
+	// And on equal hardware the same absolute value fails.
+	fresh.Calib = 100
+	entries, err = Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := DiffFailures(entries); len(bad) != 1 {
+		t.Fatalf("want failure without scaling, got %+v", bad)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	base := report(100, res("lzss", 10, 0))
+	fresh := report(100, res("lzss", 10, 1)) // 1 > 0 + 0.25 slack
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DiffFailures(entries)
+	if len(bad) != 1 || !strings.Contains(bad[0].Reason, "allocs/op") {
+		t.Fatalf("want one alloc failure, got %+v", bad)
+	}
+	// Jitter within the slack passes.
+	fresh.Results[0].AllocsPerOp = 0.2
+	entries, _ = Diff(base, fresh, DiffOptions{})
+	if bad := DiffFailures(entries); len(bad) != 0 {
+		t.Fatalf("slack not applied: %+v", bad)
+	}
+}
+
+func TestDiffSkipsUnmeasuredAllocs(t *testing.T) {
+	base := report(100, res("dedup_spar", 10, -1))
+	fresh := report(100, res("dedup_spar", 10, 50)) // newly measured: no baseline to regress
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := DiffFailures(entries); len(bad) != 0 {
+		t.Fatalf("negative baseline allocs must be exempt: %+v", bad)
+	}
+}
+
+func TestDiffIgnoresNewAndMissingEntries(t *testing.T) {
+	base := report(100, res("gone", 10, 0), res("kept", 10, 0))
+	fresh := report(100, res("kept", 10, 0), res("added", 1, 99))
+	entries, err := Diff(base, fresh, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "kept" {
+		t.Fatalf("want only the shared entry, got %+v", entries)
+	}
+}
+
+func TestDiffRejectsBadCalib(t *testing.T) {
+	if _, err := Diff(report(0), report(100), DiffOptions{}); err == nil {
+		t.Fatal("want error for zero baseline calib")
+	}
+}

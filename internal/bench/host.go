@@ -1,0 +1,289 @@
+package bench
+
+// Host-throughput suite: unlike the Fig. 1/4/5 experiments, which run in
+// virtual time on the simulated device, these measurements time the *real*
+// host-side hot paths — the Dedup pipeline stages, Mandelbrot row
+// computation, and the ff.SPSC queue — and count heap allocations per
+// operation. cmd/benchhost emits the report as JSON; cmd/benchdiff compares
+// a fresh run against the committed BENCH_baseline.json and fails the build
+// on throughput or allocation regressions (see DESIGN.md §10).
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"streamgpu/internal/dedup"
+	"streamgpu/internal/ff"
+	"streamgpu/internal/lzss"
+	"streamgpu/internal/mandel"
+	"streamgpu/internal/rabin"
+	"streamgpu/internal/sha1x"
+	"streamgpu/internal/workload"
+)
+
+// HostResult is one measurement of the host suite. AllocsPerOp < 0 means
+// allocation accounting was not meaningful for this entry (multi-goroutine
+// pipelines); benchdiff skips negative values.
+type HostResult struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	Value       float64 `json:"value"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// HostReport is the full suite output, the schema committed as
+// BENCH_baseline.json.
+type HostReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Calib is a machine-speed scalar (single-thread SHA-1 MB/s over a fixed
+	// buffer). benchdiff normalizes throughput thresholds by the ratio of
+	// fresh to baseline Calib, so a committed baseline stays meaningful on
+	// hardware of a different speed.
+	Calib   float64      `json:"calib"`
+	Results []HostResult `json:"results"`
+}
+
+// HostOptions sizes the host suite.
+type HostOptions struct {
+	// InputBytes is the Dedup workload size (default 4 MiB).
+	InputBytes int
+	// MinTime is the minimum measuring window per entry (default 250 ms).
+	MinTime time.Duration
+	// Workers is the parallel-pipeline width (default max(2, GOMAXPROCS)).
+	Workers int
+}
+
+func (o HostOptions) inputBytes() int {
+	if o.InputBytes <= 0 {
+		return 4 << 20
+	}
+	return o.InputBytes
+}
+
+func (o HostOptions) minTime() time.Duration {
+	if o.MinTime <= 0 {
+		return 250 * time.Millisecond
+	}
+	return o.MinTime
+}
+
+func (o HostOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// hostTime runs fn repeatedly until the measuring window has elapsed and
+// returns the mean seconds per op.
+func hostTime(min time.Duration, fn func()) float64 {
+	fn() // warm caches and pools
+	var (
+		elapsed time.Duration
+		ops     int
+	)
+	for elapsed < min {
+		t0 := time.Now()
+		fn()
+		elapsed += time.Since(t0)
+		ops++
+	}
+	return elapsed.Seconds() / float64(ops)
+}
+
+// hostAllocs returns the mean heap allocations per call of fn, measured on
+// the calling goroutine via the runtime's malloc counter.
+func hostAllocs(iters int, fn func()) float64 {
+	fn() // steady state: warm free lists before counting
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+}
+
+// calibScore measures single-thread SHA-1 MB/s over a fixed 1 MiB buffer —
+// the machine-speed normalizer for cross-host baseline comparison.
+func calibScore() float64 {
+	buf := workload.Generate(workload.Spec{Kind: workload.Silesia, Size: 1 << 20, Seed: 9})
+	sec := hostTime(200*time.Millisecond, func() { sha1x.Sum20(buf) })
+	return float64(len(buf)) / 1e6 / sec
+}
+
+// RunHost executes the host-throughput suite and returns the report.
+func RunHost(opt HostOptions) HostReport {
+	rep := HostReport{
+		Schema:     "streamgpu-hostbench/v1",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Calib:      calibScore(),
+	}
+	min := opt.minTime()
+	input := workload.Generate(workload.Spec{Kind: workload.Large, Size: opt.inputBytes(), Seed: 1})
+	mb := float64(len(input)) / 1e6
+	add := func(name, unit string, value, allocs float64) {
+		rep.Results = append(rep.Results, HostResult{Name: name, Unit: unit, Value: value, AllocsPerOp: allocs})
+	}
+
+	// --- Dedup end-to-end (host wall clock, archive to io.Discard) ---
+	sec := hostTime(min, func() {
+		if _, err := dedup.CompressSeq(input, io.Discard, dedup.Options{}); err != nil {
+			panic(err)
+		}
+	})
+	add("dedup_seq", "MB/s", mb/sec, -1)
+	sec = hostTime(min, func() {
+		if _, err := dedup.CompressSPar(input, io.Discard, dedup.Options{Workers: opt.workers()}); err != nil {
+			panic(err)
+		}
+	})
+	add("dedup_spar", "MB/s", mb/sec, -1)
+
+	// --- Dedup per-stage throughput ---
+	addDedupStages(add, min, input)
+
+	// --- Mandelbrot host rows/s on the FastFlow runtime ---
+	p := mandel.Params{Dim: 128, Niter: 256, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	sec = hostTime(min, func() {
+		if _, err := mandel.RunFF(p, opt.workers()); err != nil {
+			panic(err)
+		}
+	})
+	add("mandel_ff_rows", "rows/s", float64(p.Dim)/sec, -1)
+
+	// --- SPSC queue transfer ---
+	ops, allocs := spscTransfer(min)
+	add("spsc_transfer", "ops/s", ops, allocs)
+
+	return rep
+}
+
+// addDedupStages measures each pipeline stage in isolation over the same
+// input: fragmentation (Rabin boundaries), SHA-1 block hashing, and LZSS
+// match+encode, plus allocation counts on the kernel hot paths.
+func addDedupStages(add func(name, unit string, value, allocs float64), min time.Duration, input []byte) {
+	mb := float64(len(input)) / 1e6
+
+	// Stage 1: fragmentation. One op = the full input, through the pooled
+	// path the streaming pipeline uses (recycled batches and boundary
+	// arrays).
+	frag := func() {
+		dedup.FragmentInto(input, dedup.DefaultBatchSize, func(b *dedup.Batch) { b.Release() })
+	}
+	sec := hostTime(min, frag)
+	add("dedup_fragment", "MB/s", mb/sec, hostAllocs(4, frag))
+
+	// A single batch for the per-batch kernels.
+	var batch *dedup.Batch
+	dedup.Fragment(input, dedup.DefaultBatchSize, func(b *dedup.Batch) {
+		if batch == nil {
+			batch = b
+		}
+	})
+	bmb := float64(len(batch.Data)) / 1e6
+
+	// Stage 2: SHA-1 over every block of one batch.
+	hash := func() { batch.HashBlocks() }
+	sec = hostTime(min, hash)
+	add("dedup_hash", "MB/s", bmb/sec, hostAllocs(8, hash))
+
+	// Stage 4 core: LZSS match-finding over one batch, with the reusable
+	// matcher the compress-stage replicas hold.
+	ml := make([]int32, len(batch.Data))
+	mo := make([]int32, len(batch.Data))
+	m := lzss.NewMatcher()
+	find := func() { m.FindMatches(batch.Data, batch.StartPos, ml, mo) }
+	sec = hostTime(min, find)
+	add("lzss_find_matches", "MB/s", bmb/sec, hostAllocs(8, find))
+
+	// Stage 4 end-to-end: per-block compression of one batch into a reused
+	// arena, as the pipeline's compress stage does.
+	var arena []byte
+	compress := func() {
+		arena = arena[:0]
+		for k := 0; k < batch.NBlocks(); k++ {
+			lo, hi := batch.Block(k)
+			arena = m.AppendCompress(arena, batch.Data[lo:hi])
+		}
+	}
+	sec = hostTime(min, compress)
+	add("dedup_compress", "MB/s", bmb/sec, hostAllocs(4, compress))
+
+	// Stage 1 core: Rabin boundary scan alone, appending into a recycled
+	// array.
+	ch := rabin.NewChunker()
+	data := batch.Data
+	var starts []int32
+	bounds := func() { starts = ch.AppendBoundaries(starts[:0], data) }
+	sec = hostTime(min, bounds)
+	add("rabin_boundaries", "MB/s", bmb/sec, hostAllocs(8, bounds))
+}
+
+// spscTransferN is how many elements one SPSC measurement moves.
+const spscTransferN = 1 << 19
+
+// spscTransfer measures the queue's producer→consumer transfer rate in the
+// shape the runtime uses it (blocking mode, dedicated producer and consumer
+// goroutines, burst push/pop) and the allocations per transferred element.
+func spscTransfer(min time.Duration) (opsPerSec, allocsPerOp float64) {
+	q := ff.NewSPSC[int64](1024, false)
+	oneRun := func() {
+		done := make(chan struct{})
+		go func() {
+			buf := make([]int64, 64)
+			for i := range buf {
+				buf[i] = int64(i)
+			}
+			sent := 0
+			for sent < spscTransferN {
+				n := len(buf)
+				if spscTransferN-sent < n {
+					n = spscTransferN - sent
+				}
+				pushed := q.TryPushN(buf[:n])
+				if pushed == 0 {
+					runtime.Gosched()
+				}
+				sent += pushed
+			}
+			close(done)
+		}()
+		buf := make([]int64, 64)
+		var sink int64
+		got := 0
+		for got < spscTransferN {
+			n := q.TryPopN(buf)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				sink += buf[i]
+			}
+			got += n
+		}
+		<-done
+		_ = sink
+	}
+	sec := hostTime(min, oneRun)
+
+	// Allocation count on the single-goroutine fast path (burst push + pop;
+	// the concurrent path above would charge scheduler noise).
+	q2 := ff.NewSPSC[int64](256, false)
+	buf := make([]int64, 64)
+	allocs := hostAllocs(4, func() {
+		for i := 0; i < 16; i++ {
+			q2.TryPushN(buf)
+			q2.TryPopN(buf)
+		}
+	}) / 1024
+	return spscTransferN / sec, allocs
+}

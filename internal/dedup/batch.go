@@ -3,6 +3,8 @@ package dedup
 import (
 	"sync"
 
+	"streamgpu/internal/lzss"
+	"streamgpu/internal/pool"
 	"streamgpu/internal/rabin"
 	"streamgpu/internal/sha1x"
 )
@@ -21,6 +23,43 @@ type Batch struct {
 	// Per-block results filled by later stages, indexed like StartPos.
 	Hashes [][sha1x.Size]byte
 	Comp   [][]byte // nil entry: block was judged duplicate upstream
+
+	// Recycling state, used by the pooled pipelines (FragmentInto):
+	// pooled marks a batch owned by batchPool, arena is the per-batch
+	// compression output buffer Comp entries subslice, firsts is the
+	// dedup stage's first-sighting verdict per block, and compOff is the
+	// compress stage's offset scratch. All survive Release so the next
+	// batch reuses their capacity.
+	pooled  bool
+	arena   []byte
+	firsts  []bool
+	compOff []int32
+}
+
+// batchPool recycles Batch containers (and the slices hanging off them)
+// across the stream — the FastFlow buffer-reuse discipline.
+var batchPool = pool.New[*Batch]("dedup.batch", func() *Batch { return new(Batch) })
+
+// Release returns a pooled batch (one emitted by FragmentInto) to the free
+// list; the batch and everything reachable from it must not be used
+// afterwards. Calling Release on a non-pooled batch is a no-op, so sinks
+// may release unconditionally.
+func (b *Batch) Release() {
+	if !b.pooled {
+		return
+	}
+	b.pooled = false
+	b.Seq = 0
+	b.Data = nil
+	b.StartPos = b.StartPos[:0]
+	b.Hashes = b.Hashes[:0]
+	for k := range b.Comp {
+		b.Comp[k] = nil
+	}
+	b.Comp = b.Comp[:0]
+	b.arena = b.arena[:0]
+	b.firsts = b.firsts[:0]
+	batchPool.Release(b)
 }
 
 // NBlocks reports the number of blocks in the batch.
@@ -38,7 +77,8 @@ func (b *Batch) Block(k int) (lo, hi int) {
 
 // Fragment cuts input into batches of batchSize bytes (the last one may be
 // short) and computes Rabin boundaries for each — the paper's stage 1,
-// always on the CPU.
+// always on the CPU. Each call allocates fresh batches the consumer keeps
+// forever; the streaming pipelines use FragmentInto instead.
 func Fragment(input []byte, batchSize int, emit func(*Batch)) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -56,12 +96,91 @@ func Fragment(input []byte, batchSize int, emit func(*Batch)) {
 	}
 }
 
-// HashBlocks computes the SHA-1 of every block (the CPU path of stage 2).
+// FragmentInto is the recycling form of Fragment: every emitted batch comes
+// from the package free list and its boundary array is computed in place
+// into the batch's recycled StartPos (rabin.AppendBoundaries), so a warm
+// stream fragments without heap allocation. Ownership of each batch
+// transfers to the consumer, which must call (*Batch).Release when the
+// batch has fully left the pipeline.
+func FragmentInto(input []byte, batchSize int, emit func(*Batch)) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	chunker := rabin.NewChunker()
+	seq := 0
+	for off := 0; off < len(input); off += batchSize {
+		end := off + batchSize
+		if end > len(input) {
+			end = len(input)
+		}
+		data := input[off:end]
+		b := batchPool.Get()
+		b.pooled = true
+		b.Seq = seq
+		b.Data = data
+		b.StartPos = chunker.AppendBoundaries(b.StartPos[:0], data)
+		emit(b)
+		seq++
+	}
+}
+
+// HashBlocks computes the SHA-1 of every block (the CPU path of stage 2),
+// reusing the batch's Hashes capacity when it suffices.
 func (b *Batch) HashBlocks() {
-	b.Hashes = make([][sha1x.Size]byte, b.NBlocks())
-	for k := 0; k < b.NBlocks(); k++ {
-		lo, hi := b.Block(k)
-		b.Hashes[k] = sha1x.Sum20(b.Data[lo:hi])
+	n := b.NBlocks()
+	if cap(b.Hashes) < n {
+		b.Hashes = make([][sha1x.Size]byte, n)
+	}
+	b.Hashes = b.Hashes[:n]
+	sha1x.SumBatch(b.Data, b.StartPos, b.Hashes)
+}
+
+// markFirsts runs the dedup stage: one batched store lookup fills
+// b.firsts[k] with whether block k's hash was seen here first.
+func (b *Batch) markFirsts(store *Store) {
+	n := b.NBlocks()
+	if cap(b.firsts) < n {
+		b.firsts = make([]bool, n)
+	}
+	b.firsts = b.firsts[:n]
+	store.FirstSightings(b.Hashes, b.firsts)
+}
+
+// compressFirsts LZSS-compresses every first-sighting block into the
+// batch's arena and points Comp[k] at the block's subslice (capacity-capped
+// so downstream code cannot grow one block into the next). Appending into
+// one arena means a warm batch compresses with zero heap allocations: the
+// arena's capacity stabilizes after a few batches.
+func (b *Batch) compressFirsts(m *lzss.Matcher) {
+	n := b.NBlocks()
+	if cap(b.Comp) < n {
+		b.Comp = make([][]byte, n)
+	}
+	b.Comp = b.Comp[:n]
+	if cap(b.compOff) < n {
+		b.compOff = make([]int32, n)
+	}
+	off := b.compOff[:n]
+	arena := b.arena[:0]
+	for k := 0; k < n; k++ {
+		off[k] = -1
+		if b.firsts[k] {
+			off[k] = int32(len(arena))
+			lo, hi := b.Block(k)
+			arena = m.AppendCompress(arena, b.Data[lo:hi])
+		}
+	}
+	b.arena = arena
+	// Subslice only once the arena has stopped growing: offsets survive
+	// reallocation, pointers would not.
+	end := int32(len(arena))
+	for k := n - 1; k >= 0; k-- {
+		if off[k] >= 0 {
+			b.Comp[k] = arena[off[k]:end:end]
+			end = off[k]
+		} else {
+			b.Comp[k] = nil
+		}
 	}
 }
 
@@ -88,6 +207,21 @@ func (s *Store) FirstSighting(h [sha1x.Size]byte) bool {
 	}
 	s.mu.Unlock()
 	return !dup
+}
+
+// FirstSightings is the batched form of FirstSighting: one lock acquisition
+// records every hash and fills dst[i] with whether hashes[i] was new. dst
+// must be at least as long as hashes.
+func (s *Store) FirstSightings(hashes [][sha1x.Size]byte, dst []bool) {
+	s.mu.Lock()
+	for i, h := range hashes {
+		_, dup := s.seen[h]
+		if !dup {
+			s.seen[h] = struct{}{}
+		}
+		dst[i] = !dup
+	}
+	s.mu.Unlock()
 }
 
 // Len reports the number of distinct hashes seen.

@@ -60,6 +60,12 @@ type Writer struct {
 	next    uint64
 	stats   Stats
 	started bool
+	// Inline-fallback compression state, lazily created: the matcher's
+	// tables and the output scratch are reused across blocks so the
+	// sequential path (which always compresses inline) stays allocation-free
+	// once warm.
+	m       *lzss.Matcher
+	scratch []byte
 }
 
 // NewWriter creates an archive writer over w.
@@ -86,7 +92,11 @@ func (dw *Writer) WriteBlock(hash [sha1x.Size]byte, raw []byte, comp []byte) err
 		return err
 	}
 	if comp == nil {
-		comp = lzss.Compress(raw)
+		if dw.m == nil {
+			dw.m = lzss.NewMatcher()
+		}
+		dw.scratch = dw.m.AppendCompress(dw.scratch[:0], raw)
+		comp = dw.scratch
 		dw.stats.FallbackCompressions++
 	}
 	dw.written[hash] = dw.next
@@ -151,6 +161,7 @@ func Restore(r io.Reader, w io.Writer) error {
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var blocks [][]byte
+	var comp []byte // reused across records: decoded blocks copy out of it
 	for {
 		tag, err := br.ReadByte()
 		if err == io.EOF {
@@ -165,7 +176,10 @@ func Restore(r io.Reader, w io.Writer) error {
 		}
 		switch tag {
 		case recUnique:
-			comp := make([]byte, v)
+			if uint64(cap(comp)) < v {
+				comp = make([]byte, v)
+			}
+			comp = comp[:v]
 			if _, err := io.ReadFull(br, comp); err != nil {
 				return fmt.Errorf("%w: truncated block: %v", ErrFormat, err)
 			}

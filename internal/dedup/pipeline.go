@@ -70,20 +70,6 @@ func CompressSeq(input []byte, w io.Writer, opt Options) (Stats, error) {
 	return st, nil
 }
 
-// processBatch is the replicated middle-stage body shared by the parallel
-// CPU pipelines: hash every block, consult the shared store, and compress
-// the blocks this worker saw first.
-func processBatch(b *Batch, store *Store) {
-	b.HashBlocks()
-	b.Comp = make([][]byte, b.NBlocks())
-	for k := 0; k < b.NBlocks(); k++ {
-		if store.FirstSighting(b.Hashes[k]) {
-			lo, hi := b.Block(k)
-			b.Comp[k] = lzss.Compress(b.Data[lo:hi])
-		}
-	}
-}
-
 // writeBatch is the ordered final-stage body: the authoritative
 // stream-order dedup decision plus archive output.
 func writeBatch(b *Batch, dw *Writer) error {
@@ -96,9 +82,33 @@ func writeBatch(b *Batch, dw *Writer) error {
 	return nil
 }
 
+// compressWorker is a stateful compress-stage replica: each replica owns an
+// lzss.Matcher whose hash-chain tables and match arrays are reused across
+// batches without locking.
+type compressWorker struct{ m *lzss.Matcher }
+
+func newCompressWorker() core.Worker { return &compressWorker{} }
+
+// Init implements core.Worker.
+func (w *compressWorker) Init() error { w.m = lzss.NewMatcher(); return nil }
+
+// End implements core.Worker.
+func (w *compressWorker) End() {}
+
+// Process implements core.Worker.
+func (w *compressWorker) Process(item any, emit func(any)) {
+	b := item.(*Batch)
+	b.compressFirsts(w.m)
+	emit(b)
+}
+
 // CompressSPar runs the paper's CPU-only Dedup: a SPar ToStream region with
-// three stages — fragmentation (source), replicated hash/dedup/compress,
-// and ordered reorder+write — the structure of Griebler et al. [22].
+// five stages — fragmentation (source, pooled batches), replicated hash,
+// serial dedup-mark, replicated compress (per-replica Matcher state, arena
+// output), and ordered reorder+write, which releases each batch back to the
+// free list — the structure of Griebler et al. [22] with FastFlow's
+// buffer-reuse discipline. A warm stream runs the whole path without heap
+// allocation.
 func CompressSPar(input []byte, w io.Writer, opt Options) (Stats, error) {
 	return CompressSParContext(context.Background(), input, w, opt)
 }
@@ -114,18 +124,28 @@ func CompressSParContext(ctx context.Context, input []byte, w io.Writer, opt Opt
 		core.Telemetry(opt.Metrics, "dedup"), core.Trace(opt.Trace)).
 		Stage(func(item any, emit func(any)) {
 			b := item.(*Batch)
-			processBatch(b, store)
+			b.HashBlocks()
 			emit(b)
-		}, core.Replicate(opt.workers()), core.Name("hash+compress"),
-			core.Input("input", "batchSize"), core.Output("batch")).
+		}, core.Replicate(opt.workers()), core.Name("hash"),
+			core.Input("input", "batchSize"), core.Output("hashes")).
+		Stage(func(item any, emit func(any)) {
+			b := item.(*Batch)
+			b.markFirsts(store)
+			emit(b)
+		}, core.Name("dedup"), core.Input("hashes"), core.Output("firsts")).
+		StageWorkers(newCompressWorker, core.Replicate(opt.workers()),
+			core.Name("compress"), core.Input("firsts"), core.Output("batch")).
 		StageErr(func(item any, emit func(any)) error {
 			// A write failure flows through the runtime's error channel:
 			// the stream is canceled and the error returns from Run.
-			return writeBatch(item.(*Batch), dw)
+			b := item.(*Batch)
+			err := writeBatch(b, dw)
+			b.Release()
+			return err
 		}, core.Name("reorder+write"), core.Input("batch"))
 
 	err := ts.RunContext(ctx, func(emit func(any)) {
-		Fragment(input, opt.batchSize(), func(b *Batch) { emit(b) })
+		FragmentInto(input, opt.batchSize(), func(b *Batch) { emit(b) })
 	})
 	if err == nil {
 		err = dw.Close()

@@ -26,9 +26,11 @@ func TestCompressSParTelemetry(t *testing.T) {
 		t.Fatal("restore mismatch")
 	}
 	nBatches := int64((1<<20 + 128<<10 - 1) / (128 << 10))
-	lbl := telemetry.Labels{"pipeline": "dedup", "stage": "hash+compress"}
-	if v := reg.Counter("ff_stage_items_in_total", lbl).Value(); v != nBatches {
-		t.Errorf("hash+compress items in = %d, want %d", v, nBatches)
+	for _, stage := range []string{"hash", "dedup", "compress"} {
+		lbl := telemetry.Labels{"pipeline": "dedup", "stage": stage}
+		if v := reg.Counter("ff_stage_items_in_total", lbl).Value(); v != nBatches {
+			t.Errorf("%s items in = %d, want %d", stage, v, nBatches)
+		}
 	}
 	if len(tr.Events()) == 0 {
 		t.Error("no trace events recorded")

@@ -159,38 +159,58 @@ func (f *Farm) runEmitter(pl *Pipeline, tm *stageTelem, in *SPSC[any], wqs []*SP
 			}
 		}
 	case em == nil:
-		// Pure scheduler: forward pipeline input.
+		// Pure scheduler: forward pipeline input, a burst at a time.
+		var burst [burstCap]any
+	forward:
 		for {
-			t := in.Pop()
-			if t == EOS {
-				break
+			got := in.TryPopN(burst[:])
+			if got == 0 {
+				burst[0] = in.Pop()
+				got = 1
 			}
-			if pl.Canceled() {
-				tm.dropped(1 + drain(in))
-				break
+			for j := 0; j < got; j++ {
+				t := burst[j]
+				burst[j] = nil
+				if t == EOS {
+					break forward
+				}
+				if pl.Canceled() {
+					tm.dropped(1 + drainBurst(in, burst[j+1:got]))
+					break forward
+				}
+				schedule(t)
 			}
-			schedule(t)
 		}
 	default:
+		var burst [burstCap]any
+	emit:
 		for {
-			t := in.Pop()
-			if t == EOS {
-				break
+			got := in.TryPopN(burst[:])
+			if got == 0 {
+				burst[0] = in.Pop()
+				got = 1
 			}
-			if pl.Canceled() {
-				tm.dropped(1 + drain(in))
-				break
-			}
-			r, ok := svcSafe(pl, em, t, "emitter")
-			if !ok || r == EOS {
-				if !ok {
-					tm.errored()
+			for j := 0; j < got; j++ {
+				t := burst[j]
+				burst[j] = nil
+				if t == EOS {
+					break emit
 				}
-				tm.dropped(drain(in))
-				break
-			}
-			if r != GoOn {
-				schedule(r)
+				if pl.Canceled() {
+					tm.dropped(1 + drainBurst(in, burst[j+1:got]))
+					break emit
+				}
+				r, ok := svcSafe(pl, em, t, "emitter")
+				if !ok || r == EOS {
+					if !ok {
+						tm.errored()
+					}
+					tm.dropped(drainBurst(in, burst[j+1:got]))
+					break emit
+				}
+				if r != GoOn {
+					schedule(r)
+				}
 			}
 		}
 	}
@@ -227,47 +247,57 @@ func (f *Farm) runWorker(pl *Pipeline, tm *stageTelem, i int, wq, cq *SPSC[any])
 		cq.Push(EOS)
 		return
 	}
+	var burst [burstCap]any
+serve:
 	for {
-		t := wq.Pop()
-		if t == EOS {
-			break
+		got := wq.TryPopN(burst[:])
+		if got == 0 {
+			burst[0] = wq.Pop()
+			got = 1
 		}
-		if pl.Canceled() {
-			tm.dropped(1 + drain(wq))
-			break
-		}
-		if f.ordered {
-			si := t.(seqIn)
-			pending = &seqOut{seq: si.seq}
-			t0 := tm.svcStart()
-			r, ok := svcSafe(pl, w, si.val, where)
-			tm.svcEnd(t0)
-			if r != GoOn && r != EOS && ok {
-				pending.vals = append(pending.vals, r)
+		for j := 0; j < got; j++ {
+			t := burst[j]
+			burst[j] = nil
+			if t == EOS {
+				break serve
 			}
-			cq.Push(*pending)
-			pending = nil
+			if pl.Canceled() {
+				tm.dropped(1 + drainBurst(wq, burst[j+1:got]))
+				break serve
+			}
+			if f.ordered {
+				si := t.(seqIn)
+				pending = &seqOut{seq: si.seq}
+				t0 := tm.svcStart()
+				r, ok := svcSafe(pl, w, si.val, where)
+				tm.svcEnd(t0)
+				if r != GoOn && r != EOS && ok {
+					pending.vals = append(pending.vals, r)
+				}
+				cq.Push(*pending)
+				pending = nil
+				if !ok || r == EOS {
+					if !ok {
+						tm.errored()
+					}
+					tm.dropped(drainBurst(wq, burst[j+1:got]))
+					break serve
+				}
+				continue
+			}
+			t0 := tm.svcStart()
+			r, ok := svcSafe(pl, w, t, where)
+			tm.svcEnd(t0)
 			if !ok || r == EOS {
 				if !ok {
 					tm.errored()
 				}
-				tm.dropped(drain(wq))
-				break
+				tm.dropped(drainBurst(wq, burst[j+1:got]))
+				break serve
 			}
-			continue
-		}
-		t0 := tm.svcStart()
-		r, ok := svcSafe(pl, w, t, where)
-		tm.svcEnd(t0)
-		if !ok || r == EOS {
-			if !ok {
-				tm.errored()
+			if r != GoOn {
+				cq.Push(r)
 			}
-			tm.dropped(drain(wq))
-			break
-		}
-		if r != GoOn {
-			cq.Push(r)
 		}
 	}
 	endSafe(pl, w, where)

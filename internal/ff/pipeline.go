@@ -13,6 +13,11 @@ import (
 // matching FastFlow's default of 512 slots.
 const defaultQueueCap = 512
 
+// burstCap is the consumer-side burst size: service loops pop up to this
+// many items per head publish (TryPopN), amortizing the queue's atomic
+// traffic when a stage runs behind its producer.
+const burstCap = 32
+
 // stuckGrace bounds how long RunContext waits, after cancellation, for
 // stages to notice and wind down. A stage stuck inside user code past this
 // deadline is abandoned (its goroutine leaks; the process survives).
@@ -296,31 +301,45 @@ func runNode(pl *Pipeline, tm *stageTelem, n Node, in, out *SPSC[any]) {
 			}
 		}
 	} else {
+		// Drain the input in bursts: one head publish covers up to burstCap
+		// items, and a stage that falls behind catches up without paying a
+		// queue round-trip per item.
+		var burst [burstCap]any
+	serve:
 		for {
-			t := in.Pop()
-			if t == EOS {
-				break
+			got := in.TryPopN(burst[:])
+			if got == 0 {
+				burst[0] = in.Pop()
+				got = 1
 			}
-			if pl.Canceled() {
-				// Keep consuming so upstream can finish, drop the items.
-				tm.dropped(1 + drain(in))
-				break
-			}
-			tm.itemIn()
-			t0 := tm.svcStart()
-			r, ok := svcSafe(pl, n, t, where)
-			tm.svcEnd(t0)
-			if !ok || r == EOS {
-				// Failure or early termination: keep consuming so upstream
-				// can finish, but drop the items.
-				if !ok {
-					tm.errored()
+			for j := 0; j < got; j++ {
+				t := burst[j]
+				burst[j] = nil
+				if t == EOS {
+					break serve
 				}
-				tm.dropped(drain(in))
-				break
-			}
-			if r != GoOn {
-				send(r)
+				if pl.Canceled() {
+					// Keep consuming so upstream can finish, drop the items
+					// (including the rest of this burst).
+					tm.dropped(1 + drainBurst(in, burst[j+1:got]))
+					break serve
+				}
+				tm.itemIn()
+				t0 := tm.svcStart()
+				r, ok := svcSafe(pl, n, t, where)
+				tm.svcEnd(t0)
+				if !ok || r == EOS {
+					// Failure or early termination: keep consuming so
+					// upstream can finish, but drop the items.
+					if !ok {
+						tm.errored()
+					}
+					tm.dropped(drainBurst(in, burst[j+1:got]))
+					break serve
+				}
+				if r != GoOn {
+					send(r)
+				}
 			}
 		}
 	}
@@ -340,4 +359,19 @@ func drain(in *SPSC[any]) int64 {
 		}
 		n++
 	}
+}
+
+// drainBurst discards the unprocessed tail of a popped burst, then the rest
+// of the queue, returning the total dropped. If the EOS was already popped
+// into the burst the queue must not be touched again — nothing ever follows
+// EOS, so a blind drain would block forever.
+func drainBurst(in *SPSC[any], rest []any) int64 {
+	var n int64
+	for _, t := range rest {
+		if t == EOS {
+			return n
+		}
+		n++
+	}
+	return n + drain(in)
 }

@@ -87,6 +87,50 @@ func (q *SPSC[T]) TryPop() (v T, ok bool) {
 	return v, true
 }
 
+// TryPushN appends up to len(vs) elements and reports how many were
+// enqueued. The whole burst becomes visible with a single tail publish, so
+// the per-element atomic cost shrinks with burst size (FastFlow's multipush
+// optimization). Producer-side only.
+func (q *SPSC[T]) TryPushN(vs []T) int {
+	t := q.tail.Load()
+	free := uint64(len(q.buf)) - (t - q.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(t+i)&q.mask] = vs[i]
+	}
+	q.tail.Store(t + n)
+	return int(n)
+}
+
+// TryPopN removes up to len(dst) of the oldest elements into dst and
+// reports how many were transferred, publishing the head once for the whole
+// burst. Consumer-side only.
+func (q *SPSC[T]) TryPopN(dst []T) int {
+	h := q.head.Load()
+	avail := q.tail.Load() - h
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		idx := (h + i) & q.mask
+		dst[i] = q.buf[idx]
+		q.buf[idx] = zero // release the reference for GC
+	}
+	q.head.Store(h + n)
+	return int(n)
+}
+
 // Push blocks (with backoff) until v is enqueued.
 func (q *SPSC[T]) Push(v T) {
 	var b backoff
@@ -108,12 +152,21 @@ func (q *SPSC[T]) Pop() T {
 	}
 }
 
+// maxParkSleep caps the adaptive park interval: long enough that an idle
+// stage costs next to nothing, short enough that wake-up latency stays well
+// under a stage service time.
+const maxParkSleep = 512 * time.Microsecond
+
 // backoff implements the graduated wait strategy: spin, then yield, then —
-// in blocking mode — sleep briefly. Spinning mode never sleeps, trading CPU
-// for latency as FastFlow's non-blocking mode does.
+// in blocking mode — park with exponentially growing sleeps (1µs doubling
+// to maxParkSleep). A fixed sleep either burns CPU on an idle queue or adds
+// a full sleep of latency to a nearly-ready one; the doubling ramp adapts
+// to whichever case this wait turns out to be. Spinning mode never sleeps,
+// trading CPU for latency as FastFlow's non-blocking mode does.
 type backoff struct {
-	n    int
-	spin bool
+	n     int
+	sleep time.Duration
+	spin  bool
 }
 
 func (b *backoff) wait() {
@@ -123,9 +176,15 @@ func (b *backoff) wait() {
 	case b.spin || b.n < 192:
 		runtime.Gosched()
 	default:
-		time.Sleep(50 * time.Microsecond)
+		if b.sleep == 0 {
+			b.sleep = time.Microsecond
+		}
+		time.Sleep(b.sleep)
+		if b.sleep < maxParkSleep {
+			b.sleep *= 2
+		}
 	}
 	b.n++
 }
 
-func (b *backoff) reset() { b.n = 0 }
+func (b *backoff) reset() { b.n = 0; b.sleep = 0 }

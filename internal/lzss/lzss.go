@@ -28,6 +28,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+
+	"streamgpu/internal/pool"
 )
 
 const (
@@ -105,21 +109,69 @@ func FindMatchesRef(input []byte, startPos []int32, matchLen, matchOff []int32) 
 	}
 }
 
+// Matcher holds the hash-chain tables FindMatches needs, so repeated calls
+// reuse them instead of reallocating ~¾ MB per batch. The zero value is
+// ready to use; a Matcher must not be shared between concurrent calls.
+// The streaming runtimes keep one Matcher per compress-stage replica.
+type Matcher struct {
+	head  [hashSize]int32
+	stamp [hashSize]int32
+	prev  []int32
+	epoch int32
+	// Scratch for AppendCompress (standalone single-block encoding).
+	ml, mo []int32
+	one    [1]int32
+}
+
+// NewMatcher returns a fresh Matcher.
+func NewMatcher() *Matcher { return new(Matcher) }
+
+// matcherPool backs the convenience FindMatches/Compress entry points so
+// even the free functions stop allocating tables once warm.
+var matcherPool = pool.New[*Matcher]("lzss.matcher", NewMatcher)
+
 // FindMatches computes the same result as FindMatchesRef using per-block
 // hash chains: only candidates sharing the first three bytes are visited,
 // which cannot change the outcome because shorter candidates can never
 // reach MinMatch. Candidates are walked nearest-first, matching the
 // reference tie-break.
+//
+// This free function borrows a pooled Matcher; hot paths that own a
+// replica should call (*Matcher).FindMatches directly.
 func FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
+	m := matcherPool.Get()
+	m.FindMatches(input, startPos, matchLen, matchOff)
+	matcherPool.Release(m)
+}
+
+// FindMatches is the reusable-state form of the package-level FindMatches;
+// the result is bit-identical to FindMatchesRef. Two exact candidate-pruning
+// steps keep it fast without changing any output:
+//
+//   - quick reject: a candidate can only beat the current best match if it
+//     could be strictly longer (best < limit) and its byte at offset best
+//     agrees with the target — otherwise its match length is <= best and
+//     the reference would discard it too;
+//   - wide compare: the common-prefix scan goes 8 bytes at a time via
+//     XOR + trailing-zero count, which computes the same length.
+func (m *Matcher) FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
 	checkMatchArgs(input, startPos, matchLen, matchOff)
-	head := make([]int32, hashSize)
-	stamp := make([]int32, hashSize)
-	prev := make([]int32, len(input))
-	epoch := int32(0)
+	if len(input) > cap(m.prev) {
+		m.prev = make([]int32, len(input))
+	}
+	prev := m.prev[:cap(m.prev)]
+	head, stamp := &m.head, &m.stamp
 	for k := range startPos {
 		lo := int(startPos[k])
 		hi := blockEnd(startPos, k, len(input))
-		epoch++
+		if m.epoch == math.MaxInt32 {
+			// Epoch wrap: invalidate every stale stamp explicitly. In
+			// practice unreachable (2^31 blocks), but cheap to be exact.
+			m.stamp = [hashSize]int32{}
+			m.epoch = 0
+		}
+		m.epoch++
+		epoch := m.epoch
 		for i := lo; i < hi; i++ {
 			best, bestC := 0, -1
 			maxHere := hi - i
@@ -138,10 +190,10 @@ func FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
 						if d := i - int(c); limit > d {
 							limit = d
 						}
-						l := 0
-						for l < limit && input[int(c)+l] == input[i+l] {
-							l++
+						if best >= limit || input[int(c)+best] != input[i+best] {
+							continue
 						}
+						l := matchLen8(input, int(c), i, limit)
 						if l > best {
 							best, bestC = l, int(c)
 							if best == maxHere {
@@ -171,6 +223,24 @@ func FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
 	}
 }
 
+// matchLen8 returns the length of the common prefix of input[c:] and
+// input[i:], capped at limit, comparing 8 bytes at a time. Callers
+// guarantee c < i, c+limit <= i and i+limit <= len(input).
+func matchLen8(input []byte, c, i, limit int) int {
+	l := 0
+	for l+8 <= limit {
+		x := binary.LittleEndian.Uint64(input[c+l:]) ^ binary.LittleEndian.Uint64(input[i+l:])
+		if x != 0 {
+			return l + bits.TrailingZeros64(x)>>3
+		}
+		l += 8
+	}
+	for l < limit && input[c+l] == input[i+l] {
+		l++
+	}
+	return l
+}
+
 func checkMatchArgs(input []byte, startPos []int32, matchLen, matchOff []int32) {
 	if len(matchLen) < len(input) || len(matchOff) < len(input) {
 		panic(fmt.Sprintf("lzss: match arrays too short: %d/%d for %d bytes",
@@ -191,54 +261,71 @@ func checkMatchArgs(input []byte, startPos []int32, matchLen, matchOff []int32) 
 // is self-contained: a uvarint of the uncompressed length followed by the
 // token stream.
 func EncodeFromMatches(input []byte, lo, hi int, matchLen, matchOff []int32) []byte {
+	dst := make([]byte, 0, (hi-lo)/2+16+binary.MaxVarintLen64)
+	return AppendEncode(dst, input, lo, hi, matchLen, matchOff)
+}
+
+// AppendEncode is EncodeFromMatches in appending form: the encoded block is
+// appended to dst and the extended slice returned, so hot paths can grow one
+// arena per batch instead of allocating per block. The bytes appended are
+// identical to EncodeFromMatches' output.
+func AppendEncode(dst []byte, input []byte, lo, hi int, matchLen, matchOff []int32) []byte {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(hi-lo))
-	out := make([]byte, n, (hi-lo)/2+16)
-	copy(out, hdr[:n])
+	dst = append(dst, hdr[:n]...)
 
 	var flags byte
 	var nflags int
 	flagPos := -1
-	emitFlag := func(bit byte) {
+	i := lo
+	for i < hi {
 		if nflags == 0 {
-			flagPos = len(out)
-			out = append(out, 0)
+			flagPos = len(dst)
+			dst = append(dst, 0)
 		}
-		flags |= bit << uint(nflags)
+		l := int(matchLen[i])
+		if l >= MinMatch {
+			d := int(matchOff[i])
+			flags |= 1 << uint(nflags)
+			v := uint16(d-1)<<4 | uint16(l-MinMatch)
+			dst = append(dst, byte(v>>8), byte(v))
+			i += l
+		} else {
+			dst = append(dst, input[i])
+			i++
+		}
+		dst[flagPos] = flags
 		nflags++
-		out[flagPos] = flags
 		if nflags == 8 {
 			flags, nflags = 0, 0
 		}
 	}
-
-	i := lo
-	for i < hi {
-		l := int(matchLen[i])
-		if l >= MinMatch {
-			d := int(matchOff[i])
-			emitFlag(1)
-			v := uint16(d-1)<<4 | uint16(l-MinMatch)
-			out = append(out, byte(v>>8), byte(v))
-			i += l
-		} else {
-			emitFlag(0)
-			out = append(out, input[i])
-			i++
-		}
-	}
-	return out
+	return dst
 }
 
 // Compress encodes a single standalone block.
 func Compress(block []byte) []byte {
+	m := matcherPool.Get()
+	out := m.AppendCompress(nil, block)
+	matcherPool.Release(m)
+	return out
+}
+
+// AppendCompress encodes a single standalone block, appending to dst, using
+// the Matcher's internal match arrays as scratch. With a recycled dst this
+// is the zero-allocation form of Compress.
+func (m *Matcher) AppendCompress(dst []byte, block []byte) []byte {
 	if len(block) == 0 {
-		return []byte{0}
+		return append(dst, 0)
 	}
-	matchLen := make([]int32, len(block))
-	matchOff := make([]int32, len(block))
-	FindMatches(block, []int32{0}, matchLen, matchOff)
-	return EncodeFromMatches(block, 0, len(block), matchLen, matchOff)
+	if len(block) > cap(m.ml) {
+		m.ml = make([]int32, len(block))
+		m.mo = make([]int32, len(block))
+	}
+	ml := m.ml[:len(block)]
+	mo := m.mo[:len(block)]
+	m.FindMatches(block, m.one[:], ml, mo)
+	return AppendEncode(dst, block, 0, len(block), ml, mo)
 }
 
 // ErrCorrupt is returned by Decompress for malformed input.

@@ -1,0 +1,8 @@
+//go:build race
+
+package pool
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-pinning tests (testing.AllocsPerRun) skip under -race: the
+// detector instruments allocations and the counts stop being meaningful.
+const RaceEnabled = true

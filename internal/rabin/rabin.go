@@ -152,10 +152,22 @@ func (c *Chunker) Boundaries(data []byte) []int32 {
 	if len(data) == 0 {
 		return nil
 	}
+	return c.AppendBoundaries(nil, data)
+}
+
+// AppendBoundaries appends data's block start offsets to dst and returns the
+// extended slice — the allocation-free form of Boundaries for hot paths
+// that recycle the startPos array across batches (pass dst[:0] to reuse).
+// The rolling window lives on the stack, so a call whose dst has capacity
+// for the boundaries performs zero heap allocations.
+func (c *Chunker) AppendBoundaries(dst []int32, data []byte) []int32 {
+	if len(data) == 0 {
+		return dst
+	}
 	mask := (uint64(1) << c.AvgBits) - 1
 	magic := c.Magic & mask
-	starts := []int32{0}
-	w := NewWindowWith(c.Table)
+	dst = append(dst, 0)
+	w := Window{t: c.Table}
 	blockStart := 0
 	for i := 0; i < len(data); i++ {
 		fp := w.Roll(data[i])
@@ -165,13 +177,13 @@ func (c *Chunker) Boundaries(data []byte) []int32 {
 		}
 		if fp&mask == magic || size >= c.Max {
 			if i+1 < len(data) {
-				starts = append(starts, int32(i+1))
+				dst = append(dst, int32(i+1))
 				blockStart = i + 1
 				w.Reset()
 			}
 		}
 	}
-	return starts
+	return dst
 }
 
 // Split cuts data into blocks at the chunker's boundaries.

@@ -114,6 +114,26 @@ func Sum20(data []byte) [Size]byte {
 	return out
 }
 
+// SumBatch hashes every content-defined block of a batch into dst: block i
+// spans [startPos[i], startPos[i+1]) (the last block ends at len(data)) and
+// its digest lands in dst[i]. dst must have at least len(startPos) entries.
+// This is the CPU mirror of Kernel's thread-per-block layout and performs
+// zero heap allocations, so the dedup hash stage can recycle dst across
+// batches.
+func SumBatch(data []byte, startPos []int32, dst [][Size]byte) {
+	var h [5]uint32
+	for i, lo := range startPos {
+		hi := len(data)
+		if i+1 < len(startPos) {
+			hi = int(startPos[i+1])
+		}
+		sumInto(&h, data[lo:hi])
+		for j, v := range h {
+			binary.BigEndian.PutUint32(dst[i][j*4:], v)
+		}
+	}
+}
+
 // sumInto hashes a complete message into h (one-shot, no streaming state).
 func sumInto(h *[5]uint32, data []byte) {
 	*h = [5]uint32{init0, init1, init2, init3, init4}
