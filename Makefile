@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench-json bench-gate verify
+.PHONY: build vet lint test race fuzz bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ test:
 # new concurrency never lands unchecked.
 race:
 	$(GO) test -race ./...
+
+# fuzz gives each fuzz target a short randomized run on top of the committed
+# seed corpora (testdata/fuzz): the wire codec's decoders and the archive
+# restore path are the surfaces that parse bytes off the network/disk, so
+# they must error — never panic or over-allocate — on arbitrary input.
+# FUZZTIME=5m for a longer local soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/server/wire -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server/wire -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dedup -fuzz FuzzRestore -fuzztime $(FUZZTIME)
 
 # bench-json emits the Fig. 1 table as machine-readable JSONL (one row per
 # optimization step, including the utilization columns) into BENCH_fig1.json,

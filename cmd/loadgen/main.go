@@ -1,0 +1,76 @@
+// Command loadgen drives a running streamd with closed-loop clients and
+// prints a JSON report whose results section is benchdiff-compatible
+// (compare runs with `benchdiff -base old.json -fresh new.json`):
+//
+//	loadgen -addr localhost:7070 -clients 16 -requests 64 -verify > run.json
+//	loadgen -addr localhost:7070 -service mandel -clients 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamgpu/internal/loadgen"
+	"streamgpu/internal/server/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "streamd address")
+	service := flag.String("service", "dedup", "target service: dedup or mandel")
+	clients := flag.Int("clients", 8, "closed-loop client connections")
+	requests := flag.Int("requests", 32, "requests per client")
+	tenants := flag.Int("tenants", 4, "spread clients across this many tenant IDs")
+	minBytes := flag.Int("min-bytes", 1<<10, "dedup: min request payload")
+	maxBytes := flag.Int("max-bytes", 64<<10, "dedup: max request payload")
+	dim := flag.Int("dim", 256, "mandel: image dimension")
+	niter := flag.Int("niter", 256, "mandel: max iterations")
+	rows := flag.Int("rows", 16, "mandel: max rows per request")
+	seed := flag.Int64("seed", 1, "payload RNG seed")
+	verify := flag.Bool("verify", false, "restore every archive / recompute every row and compare")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "per-client dial timeout")
+	flag.Parse()
+
+	var svc wire.Svc
+	switch *service {
+	case "dedup":
+		svc = wire.SvcDedup
+	case "mandel":
+		svc = wire.SvcMandel
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown service %q (want dedup or mandel)\n", *service)
+		os.Exit(2)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:        *addr,
+		Service:     svc,
+		Clients:     *clients,
+		Requests:    *requests,
+		Tenants:     *tenants,
+		MinBytes:    *minBytes,
+		MaxBytes:    *maxBytes,
+		Dim:         *dim,
+		Niter:       *niter,
+		RowsPerReq:  *rows,
+		Seed:        *seed,
+		Verify:      *verify,
+		DialTimeout: *dialTimeout,
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(rep); encErr != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", encErr)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.RestoreFailures > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d restore failures\n", rep.RestoreFailures)
+		os.Exit(1)
+	}
+}

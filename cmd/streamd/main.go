@@ -1,0 +1,94 @@
+// Command streamd runs the resident streaming service front-end: the Dedup
+// and Mandelbrot pipelines as long-lived services behind the length-prefixed
+// wire protocol (internal/server/wire), with bounded admission, cross-request
+// batch coalescing, per-tenant metrics, and graceful drain on SIGINT/SIGTERM:
+//
+//	streamd -addr :7070 -metrics-addr :7071 -max-inflight 128
+//	streamd -addr :7070 -gpu -fault-kernel 0.01     # GPU path with faults
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"streamgpu/internal/dedup"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/server"
+	"streamgpu/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address for the stream protocol")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	maxInflight := flag.Int("max-inflight", 64, "admission high-water mark: accepted requests in flight before TReject")
+	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a partial dedup batch to fill before sealing")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "replicas of each processing stage")
+	batch := flag.Int("batch", dedup.DefaultBatchSize, "dedup coalescing target in bytes")
+	gpuRT := flag.Bool("gpu", false, "process dedup batches on the simulated GPU")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown before forcing")
+	faultSeed := flag.Int64("fault-seed", 0, "gpu: fault injector seed")
+	faultTransfer := flag.Float64("fault-transfer", 0, "gpu: transient transfer fault rate")
+	faultKernel := flag.Float64("fault-kernel", 0, "gpu: transient kernel fault rate")
+	faultKill := flag.Int("fault-kill-after", 0, "gpu: kill the device after N operations")
+	flag.Parse()
+
+	metrics := telemetry.New()
+	if *metricsAddr != "" {
+		msrv, err := telemetry.Serve(*metricsAddr, metrics)
+		check(err)
+		defer msrv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", msrv.Addr)
+	}
+
+	srv := server.New(server.Config{
+		MaxInflight: *maxInflight,
+		Linger:      *linger,
+		Workers:     *workers,
+		BatchSize:   *batch,
+		GPU:         *gpuRT,
+		Faults: fault.Config{
+			Seed:         *faultSeed,
+			TransferRate: *faultTransfer,
+			KernelRate:   *faultKernel,
+			KillAfterOps: *faultKill,
+		},
+		Metrics: metrics,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	check(err)
+	fmt.Printf("streamd listening on %s (max-inflight %d, linger %v, gpu %v)\n",
+		ln.Addr(), *maxInflight, *linger, *gpuRT)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("streamd: %v — draining (budget %v)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		<-done
+		check(err)
+		fmt.Println("streamd: drained cleanly")
+	case err := <-done:
+		check(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -119,6 +119,12 @@ func calibScore() float64 {
 	return float64(len(buf)) / 1e6 / sec
 }
 
+// Calib exposes the machine-speed normalizer for other report producers
+// (e.g. the load generator), so their reports can be diffed against
+// baselines recorded on different hosts with the same scaling rule Diff
+// applies to hostbench reports.
+func Calib() float64 { return calibScore() }
+
 // RunHost executes the host-throughput suite and returns the report.
 func RunHost(opt HostOptions) HostReport {
 	rep := HostReport{

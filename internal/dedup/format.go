@@ -147,6 +147,38 @@ func (dw *Writer) Stats() Stats { return dw.stats }
 // ErrFormat reports a malformed archive.
 var ErrFormat = errors.New("dedup: bad archive")
 
+// readExactCapped appends exactly v bytes from r to dst[:0], growing the
+// buffer in bounded steps: a corrupted length field can therefore only cost
+// an allocation proportional to the bytes actually present in the stream
+// (at most 2x + one step), never the claimed v, before ReadFull reports the
+// truncation.
+func readExactCapped(r io.Reader, dst []byte, v uint64) ([]byte, error) {
+	const step = 64 << 10
+	if uint64(cap(dst)) >= v {
+		dst = dst[:v]
+		_, err := io.ReadFull(r, dst)
+		return dst, err
+	}
+	dst = dst[:0]
+	for uint64(len(dst)) < v {
+		n := step
+		if rem := v - uint64(len(dst)); rem < step {
+			n = int(rem)
+		}
+		if cap(dst)-len(dst) < n {
+			grown := make([]byte, len(dst), len(dst)*2+n)
+			copy(grown, dst)
+			dst = grown
+		}
+		m, err := io.ReadFull(r, dst[len(dst):len(dst)+n])
+		dst = dst[:len(dst)+m]
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
 // Restore decompresses an archive back to the original stream.
 func Restore(r io.Reader, w io.Writer) error {
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -176,11 +208,8 @@ func Restore(r io.Reader, w io.Writer) error {
 		}
 		switch tag {
 		case recUnique:
-			if uint64(cap(comp)) < v {
-				comp = make([]byte, v)
-			}
-			comp = comp[:v]
-			if _, err := io.ReadFull(br, comp); err != nil {
+			comp, err = readExactCapped(br, comp, v)
+			if err != nil {
 				return fmt.Errorf("%w: truncated block: %v", ErrFormat, err)
 			}
 			raw, err := lzss.Decompress(comp)
@@ -192,8 +221,8 @@ func Restore(r io.Reader, w io.Writer) error {
 				return err
 			}
 		case recRaw:
-			raw := make([]byte, v)
-			if _, err := io.ReadFull(br, raw); err != nil {
+			raw, err := readExactCapped(br, nil, v)
+			if err != nil {
 				return fmt.Errorf("%w: truncated raw block: %v", ErrFormat, err)
 			}
 			blocks = append(blocks, raw)

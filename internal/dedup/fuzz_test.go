@@ -1,0 +1,78 @@
+package dedup
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"streamgpu/internal/sha1x"
+)
+
+// fuzzArchive builds a small valid archive for the seed corpus.
+func fuzzArchive(t interface{ Fatal(...any) }, chunks ...[]byte) []byte {
+	var buf bytes.Buffer
+	dw := NewWriter(&buf)
+	for _, c := range chunks {
+		if err := dw.WriteBlock(sha1x.Sum20(c), c, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRestore throws arbitrary bytes at both restore implementations. The
+// contracts: neither panics, neither over-allocates from hostile length
+// fields (the fuzzer's own OOM detection backstops this), both agree on
+// accept/reject, and on success they produce identical output.
+func FuzzRestore(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SGDD1\x00"))
+	f.Add([]byte("SGDD1\x00R\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01few"))
+	f.Add(fuzzArchive(f, []byte("hello hello hello hello"), []byte("hello hello hello hello"), bytes.Repeat([]byte("ab"), 400)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seq bytes.Buffer
+		seqErr := Restore(bytes.NewReader(data), &seq)
+		var par bytes.Buffer
+		parErr := RestoreParallel(bytes.NewReader(data), &par, 2)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("restore disagreement: seq err %v, parallel err %v", seqErr, parErr)
+		}
+		if seqErr == nil && !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatalf("restore outputs differ: %d vs %d bytes", seq.Len(), par.Len())
+		}
+	})
+}
+
+// TestRestoreHostileLengthBoundedAlloc crafts a tiny archive whose record
+// declares a multi-gigabyte payload and checks the restore path reports a
+// truncation error after allocating only a stream-proportional amount —
+// the regression the capped incremental reader fixed.
+func TestRestoreHostileLengthBoundedAlloc(t *testing.T) {
+	hostile := []byte("SGDD1\x00")
+	hostile = append(hostile, recRaw)
+	// uvarint for 1<<40 (1 TiB), followed by a handful of real bytes.
+	hostile = append(hostile, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	hostile = append(hostile, "only a few bytes follow"...)
+
+	for name, restore := range map[string]func(io.Reader, io.Writer) error{
+		"Restore":         Restore,
+		"RestoreParallel": func(r io.Reader, w io.Writer) error { return RestoreParallel(r, w, 2) },
+	} {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		err := restore(bytes.NewReader(hostile), io.Discard)
+		runtime.ReadMemStats(&m1)
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+		if grew := m1.TotalAlloc - m0.TotalAlloc; grew > 8<<20 {
+			t.Errorf("%s: allocated %d bytes handling a %d-byte hostile archive", name, grew, len(hostile))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package dedup
+
+import (
+	"testing"
+
+	"streamgpu/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks pipeline goroutines — the
+// compress and restore pipelines must drain fully on success, cancellation,
+// and error paths alike.
+func TestMain(m *testing.M) { testutil.Main(m) }

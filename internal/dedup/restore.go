@@ -95,8 +95,8 @@ func RestoreParallel(r io.Reader, w io.Writer, workers int) error {
 			it := &restoreItem{tag: tag}
 			switch tag {
 			case recUnique, recRaw:
-				it.data = make([]byte, v)
-				if _, err := io.ReadFull(br, it.data); err != nil {
+				it.data, err = readExactCapped(br, nil, v)
+				if err != nil {
 					readErr = fmt.Errorf("%w: truncated block: %v", ErrFormat, err)
 					return
 				}

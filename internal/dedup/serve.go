@@ -1,0 +1,120 @@
+package dedup
+
+import (
+	"streamgpu/internal/des"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/gpu"
+	"streamgpu/internal/lzss"
+	"streamgpu/internal/rabin"
+)
+
+// NewStreamBatch builds one pooled batch around data for the serving path:
+// the resident server fills 1 MB payload buffers by coalescing client
+// requests and seals each into a batch here, instead of fragmenting a whole
+// input up front the way FragmentInto does. Ownership of the batch transfers
+// to the caller, which must Release it when it has fully left the pipeline;
+// data stays owned by the caller (the batch only references it).
+func NewStreamBatch(seq int, data []byte, ch *rabin.Chunker) *Batch {
+	b := batchPool.Get()
+	b.pooled = true
+	b.Seq = seq
+	b.Data = data
+	b.StartPos = ch.AppendBoundaries(b.StartPos[:0], data)
+	return b
+}
+
+// MarkFirsts runs the dedup-hint stage against store (see markFirsts); it is
+// the exported form used by batch processors outside this package's own
+// pipelines.
+func (b *Batch) MarkFirsts(store *Store) { b.markFirsts(store) }
+
+// WriteBlocks writes the batch's blocks to dw in stream order — the ordered
+// final-stage body (writeBatch), exported for external sinks such as the
+// serving layer's per-session archive writers.
+func (b *Batch) WriteBlocks(dw *Writer) error { return writeBatch(b, dw) }
+
+// Flush pushes buffered archive bytes to the underlying writer without
+// ending the stream — the serving path ships archive deltas to clients
+// incrementally, so it needs the buffer drained at response boundaries while
+// the stream stays open for the next batch.
+func (dw *Writer) Flush() error {
+	if !dw.started {
+		if _, err := dw.w.Write(magic); err != nil {
+			return err
+		}
+		dw.started = true
+	}
+	return dw.w.Flush()
+}
+
+// Processor turns one pooled batch into a fully prepared batch (hashes,
+// dedup hints, compressed firsts) for an ordered writer downstream. Each
+// pipeline replica owns one Processor: the CPU path reuses a private
+// lzss.Matcher across batches, and the GPU path offloads the SHA-1 and
+// match-finding kernels to a simulated device with per-batch fault
+// injection, retry, and CPU degradation (the recovery ladder of CompressGPU,
+// per batch instead of per run). Either way the downstream Writer makes the
+// authoritative stream-order dedup decision, so the archive bytes are
+// identical to CompressSeq's regardless of path or fault schedule.
+type Processor struct {
+	opt GPUOptions
+	gpu bool
+	m   *lzss.Matcher
+	rep GPUReport
+}
+
+// NewProcessor builds a processor. useGPU selects the device path; opt's
+// fault config drives its injector (the seed is mixed with the batch
+// sequence number so each batch sees an independent deterministic schedule).
+func NewProcessor(opt GPUOptions, useGPU bool) *Processor {
+	return &Processor{opt: opt, gpu: useGPU, m: lzss.NewMatcher()}
+}
+
+// Report returns the accumulated recovery counters (GPU path only).
+func (p *Processor) Report() GPUReport { return p.rep }
+
+// Process prepares b in place: hash every block, consult store for the
+// first-sighting hint, and compress the hinted-first blocks. It never fails;
+// the GPU path degrades to the CPU path on faults.
+func (p *Processor) Process(b *Batch, store *Store) {
+	if p.gpu {
+		p.processGPU(b, store)
+		return
+	}
+	b.HashBlocks()
+	b.markFirsts(store)
+	b.compressFirsts(p.m)
+}
+
+// processGPU runs the batch's kernels on a private simulated device. Unlike
+// CompressGPU, which owns one device for a whole run, the serving path spins
+// one simulation per batch — device loss therefore costs one batch (degraded
+// to the CPU), not the rest of the stream.
+func (p *Processor) processGPU(b *Batch, store *Store) {
+	sim := des.New()
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	dev.SetTelemetry(p.opt.Metrics)
+	if p.opt.Faults != (fault.Config{}) {
+		fc := p.opt.Faults
+		// Decorrelate batches while keeping each schedule reproducible.
+		fc.Seed ^= int64(uint64(b.Seq+1) * 0x9e3779b97f4a7c15)
+		dev.SetFaultInjector(fault.New(fc))
+	}
+	done := false
+	sim.Spawn("serve-batch", func(proc *des.Proc) {
+		st := dev.NewStream("")
+		gpuHashBatch(proc, st, dev, b, p.opt, &p.rep)
+		gpuCompressBatch(proc, st, dev, b, store, p.opt, &p.rep)
+		done = true
+	})
+	if _, err := sim.Run(); err != nil || !done {
+		// Simulation-level failure: recompute the whole batch on the CPU.
+		// The stage bodies are idempotent, so redoing work a partially
+		// successful simulation already did is safe.
+		b.HashBlocks()
+		b.markFirsts(store)
+		b.compressFirsts(p.m)
+		p.rep.CPUHash++
+		p.rep.CPUCompress++
+	}
+}

@@ -96,9 +96,18 @@ type Sim struct {
 	procs []*Proc
 	live  int
 	ran   bool
+	// terminated marks the post-Run teardown phase: parked processes woken
+	// during it unwind via a sentinel panic instead of resuming, so their
+	// goroutines exit rather than leak (one engine daemon per simulation
+	// adds up fast for callers that run a simulation per batch).
+	terminated bool
 	// failure records the first process panic; Run surfaces it as an error.
 	failure error
 }
+
+// terminate is the sentinel yield panics with during teardown; the spawn
+// wrapper recognizes it and exits quietly.
+type terminate struct{}
 
 // New creates an empty simulation at virtual time zero.
 func New() *Sim {
@@ -131,6 +140,9 @@ type Proc struct {
 	resume chan struct{}
 	// blocked describes what the process is waiting on, for deadlock reports.
 	blocked string
+	// started means the goroutine exists (the spawn event fired); teardown
+	// only wakes started processes — an unfired spawn has nothing to join.
+	started bool
 	ended   bool
 	daemon  bool
 }
@@ -166,13 +178,16 @@ func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		s.live++
 	}
 	s.schedule(s.now, func() {
+		p.started = true
 		go func() {
 			<-p.resume // wait for first activation
 			defer func() {
 				if r := recover(); r != nil {
-					err := fmt.Errorf("des: process %s panicked: %v", p.name, r)
-					if s.failure == nil {
-						s.failure = err
+					if _, ok := r.(terminate); !ok {
+						err := fmt.Errorf("des: process %s panicked: %v", p.name, r)
+						if s.failure == nil {
+							s.failure = err
+						}
 					}
 				}
 				p.ended = true
@@ -181,7 +196,9 @@ func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 				}
 				s.sched <- struct{}{}
 			}()
-			fn(p)
+			if !s.terminated {
+				fn(p)
+			}
 		}()
 		s.runProc(p)
 	})
@@ -208,6 +225,9 @@ func (p *Proc) yield(why string) {
 	p.blocked = why
 	p.sim.sched <- struct{}{}
 	<-p.resume
+	if p.sim.terminated {
+		panic(terminate{})
+	}
 }
 
 // Wait suspends the process for d of virtual time (negative counts as zero).
@@ -227,14 +247,30 @@ func (p *Proc) WaitUntil(t Time) {
 	p.yield(fmt.Sprintf("until %d", t))
 }
 
+// teardown wakes every parked process so its goroutine unwinds and exits
+// (see terminate). Run defers it, so a finished simulation never leaks
+// goroutines — not the engine daemons that legitimately outlive the event
+// horizon, and not processes stranded by a failure or deadlock return.
+func (s *Sim) teardown() {
+	s.terminated = true
+	for _, p := range s.procs {
+		if p.started && !p.ended {
+			p.resume <- struct{}{}
+			<-s.sched
+		}
+	}
+}
+
 // Run executes the simulation until no events remain. It returns the final
 // virtual time and an error if processes remained blocked with an empty
-// event queue (deadlock).
+// event queue (deadlock). All process goroutines have exited by the time
+// Run returns.
 func (s *Sim) Run() (Time, error) {
 	if s.ran {
 		return s.now, fmt.Errorf("des: simulation already ran")
 	}
 	s.ran = true
+	defer s.teardown()
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		s.now = ev.at

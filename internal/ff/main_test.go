@@ -1,0 +1,11 @@
+package ff
+
+import (
+	"testing"
+
+	"streamgpu/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves pipeline goroutines behind:
+// every ff node must join on Wait/cancel, even on error paths.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -144,7 +144,8 @@ func TestFarmWorkerMidStreamEOSDrains(t *testing.T) {
 }
 
 func TestRunContextDeadlineOnStuckStage(t *testing.T) {
-	block := make(chan struct{}) // never closed: the stage is stuck for good
+	block := make(chan struct{}) // closed only after the assertion: stuck while it matters
+	defer close(block)           // let the abandoned pipeline drain so it doesn't outlive the test
 	stuck := F(func(task any) any {
 		<-block
 		return task

@@ -1,0 +1,442 @@
+// Package loadgen is a closed-loop load generator for the streaming service
+// front-end (internal/server, cmd/streamd): N concurrent clients each keep
+// exactly one request outstanding, drawing payload sizes from a seeded
+// distribution, and the run produces a latency/throughput report in the
+// benchdiff-compatible HostReport schema (internal/bench) plus serving
+// detail — admission verdict counts, percentile latencies, and end-to-end
+// restore verification.
+//
+// Closed-loop matters here: an open-loop generator against a server with
+// admission control measures mostly its own queue, while a closed loop
+// measures the server's actual service capability and lets rejection rates
+// be interpreted (each client's next request is only offered after the
+// previous verdict).
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"streamgpu/internal/bench"
+	"streamgpu/internal/dedup"
+	"streamgpu/internal/mandel"
+	"streamgpu/internal/server"
+	"streamgpu/internal/server/wire"
+	"streamgpu/internal/stats"
+	"streamgpu/internal/workload"
+)
+
+// Config shapes a load-generation run.
+type Config struct {
+	// Addr is the streamd address to dial.
+	Addr string
+	// Service selects the target pipeline (default wire.SvcDedup).
+	Service wire.Svc
+	// Clients is the closed-loop concurrency (default 8).
+	Clients int
+	// Requests is the per-client request count (default 32).
+	Requests int
+	// Tenants spreads clients across this many tenant IDs (default 4).
+	Tenants int
+	// MinBytes/MaxBytes bound the uniform payload-size distribution for the
+	// dedup service (defaults 1 KiB / 64 KiB).
+	MinBytes, MaxBytes int
+	// Dim/Niter/RowsPerReq shape mandel requests (defaults 256/256/16).
+	Dim, Niter, RowsPerReq int
+	// Seed makes the run reproducible (payload sizes and contents).
+	Seed int64
+	// Verify restores every session's archive (or recomputes every row
+	// range) and counts mismatches.
+	Verify bool
+	// DialTimeout bounds each client's dial (default 5s).
+	DialTimeout time.Duration
+	// SkipCalib omits the machine-speed calibration measurement (useful in
+	// tests where the report is not compared across machines).
+	SkipCalib bool
+}
+
+func (c Config) clients() int {
+	if c.Clients <= 0 {
+		return 8
+	}
+	return c.Clients
+}
+
+func (c Config) requests() int {
+	if c.Requests <= 0 {
+		return 32
+	}
+	return c.Requests
+}
+
+func (c Config) tenants() int {
+	if c.Tenants <= 0 {
+		return 4
+	}
+	return c.Tenants
+}
+
+func (c Config) sizeBounds() (int, int) {
+	lo, hi := c.MinBytes, c.MaxBytes
+	if lo <= 0 {
+		lo = 1 << 10
+	}
+	if hi < lo {
+		hi = 64 << 10
+		if hi < lo {
+			hi = lo
+		}
+	}
+	return lo, hi
+}
+
+func (c Config) service() wire.Svc {
+	if c.Service == 0 {
+		return wire.SvcDedup
+	}
+	return c.Service
+}
+
+func (c Config) mandelShape() (dim, niter, rows int) {
+	dim, niter, rows = c.Dim, c.Niter, c.RowsPerReq
+	if dim <= 0 {
+		dim = 256
+	}
+	if niter <= 0 {
+		niter = 256
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	if rows > dim {
+		rows = dim
+	}
+	return dim, niter, rows
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// Report is the run summary. It embeds the benchdiff-comparable fields
+// (schema, calibration, results) and adds serving detail; latency entries
+// appear in Results as inverse rates (1/seconds) so benchdiff's
+// lower-is-a-regression rule applies to them with the right sign.
+type Report struct {
+	bench.HostReport
+	Service    string  `json:"service"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests_per_client"`
+	Accepted   int64   `json:"accepted"`
+	Rejected   int64   `json:"rejected"`
+	SentBytes  int64   `json:"sent_bytes"`
+	RecvBytes  int64   `json:"recv_bytes"`
+	Seconds    float64 `json:"seconds"`
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP90 float64 `json:"latency_p90_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+	// RestoreFailures counts sessions whose restored archive (dedup) or
+	// recomputed rows (mandel) did not match what was sent. Zero is the
+	// soak-test invariant.
+	RestoreFailures int      `json:"restore_failures"`
+	Errors          []string `json:"errors,omitempty"`
+}
+
+// clientResult is one client's tally.
+type clientResult struct {
+	accepted, rejected int64
+	sent, recv         int64
+	lats               []float64
+	restoreFailed      bool
+	err                error
+}
+
+// Run executes the configured load against a live server and aggregates the
+// report. A client error (dial failure, protocol error) aborts that client
+// but the run still reports the others; the first error is surfaced in
+// Report.Errors.
+func Run(cfg Config) (Report, error) {
+	n := cfg.clients()
+	results := make([]clientResult, n)
+	// Shared compressible corpus: clients slice random windows out of it,
+	// which gives the dedup store real duplicate hits across requests.
+	corpus := workload.Generate(workload.Spec{Kind: workload.Silesia, Size: 4 << 20, Seed: cfg.Seed + 7})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runClient(cfg, id, corpus)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := Report{
+		Service:  cfg.service().String(),
+		Clients:  n,
+		Requests: cfg.requests(),
+		Seconds:  elapsed,
+	}
+	rep.Schema = "streamgpu-loadgen/v1"
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if !cfg.SkipCalib {
+		rep.Calib = bench.Calib()
+	} else {
+		rep.Calib = 1
+	}
+	var lats []float64
+	for i := range results {
+		r := &results[i]
+		rep.Accepted += r.accepted
+		rep.Rejected += r.rejected
+		rep.SentBytes += r.sent
+		rep.RecvBytes += r.recv
+		lats = append(lats, r.lats...)
+		if r.restoreFailed {
+			rep.RestoreFailures++
+		}
+		if r.err != nil && len(rep.Errors) < 8 {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("client %d: %v", i, r.err))
+		}
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		rep.LatencyP50 = stats.Percentile(lats, 50)
+		rep.LatencyP90 = stats.Percentile(lats, 90)
+		rep.LatencyP99 = stats.Percentile(lats, 99)
+	}
+	svc := cfg.service().String()
+	addResult := func(name, unit string, v float64) {
+		rep.Results = append(rep.Results, bench.HostResult{
+			Name: "serve/" + svc + "/" + name, Unit: unit, Value: v, AllocsPerOp: -1,
+		})
+	}
+	if elapsed > 0 {
+		addResult("throughput", "MB/s", float64(rep.SentBytes)/1e6/elapsed)
+		addResult("requests", "req/s", float64(rep.Accepted)/elapsed)
+	}
+	if rep.LatencyP50 > 0 {
+		addResult("p50-rate", "1/s", 1/rep.LatencyP50)
+	}
+	if rep.LatencyP99 > 0 {
+		addResult("p99-rate", "1/s", 1/rep.LatencyP99)
+	}
+	var firstErr error
+	for i := range results {
+		if results[i].err != nil {
+			firstErr = results[i].err
+			break
+		}
+	}
+	return rep, firstErr
+}
+
+// runClient drives one closed-loop connection.
+func runClient(cfg Config, id int, corpus []byte) clientResult {
+	var res clientResult
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.dialTimeout())
+	if err != nil {
+		res.err = fmt.Errorf("dial: %w", err)
+		return res
+	}
+	defer conn.Close()
+	fw := wire.NewWriter(conn)
+	// Responses can carry a whole coalesced batch's archive delta, so the
+	// client-side payload cap is generous.
+	fr := wire.NewReader(conn, 8<<20)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*1543))
+	tenant := uint32(id % cfg.tenants())
+
+	switch cfg.service() {
+	case wire.SvcMandel:
+		runMandelClient(cfg, rng, tenant, fw, fr, &res)
+	default:
+		runDedupClient(cfg, rng, tenant, fw, fr, corpus, &res)
+	}
+	return res
+}
+
+// sendFrame writes and flushes one frame.
+func sendFrame(fw *wire.Writer, f wire.Frame) error {
+	if err := fw.Write(f); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// awaitVerdict reads the verdict frame for request seq: TResult or TReject.
+// A server TEnd (drain) or TError aborts.
+func awaitVerdict(fr *wire.Reader, seq uint64) (wire.Frame, error) {
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return wire.Frame{}, fmt.Errorf("awaiting verdict for %d: %w", seq, err)
+		}
+		switch f.Type {
+		case wire.TResult, wire.TReject:
+			if f.Seq != seq {
+				return wire.Frame{}, fmt.Errorf("verdict for request %d while waiting for %d", f.Seq, seq)
+			}
+			return f, nil
+		case wire.TError:
+			return wire.Frame{}, fmt.Errorf("server error: %s", f.Payload)
+		case wire.TEnd:
+			return wire.Frame{}, fmt.Errorf("server ended stream while request %d outstanding", seq)
+		default:
+			return wire.Frame{}, fmt.Errorf("unexpected %s frame", f.Type)
+		}
+	}
+}
+
+// runDedupClient streams random corpus windows and verifies the restored
+// archive against exactly the accepted payloads.
+func runDedupClient(cfg Config, rng *rand.Rand, tenant uint32, fw *wire.Writer, fr *wire.Reader, corpus []byte, res *clientResult) {
+	lo, hi := cfg.sizeBounds()
+	var expected, archive bytes.Buffer
+	for i := 0; i < cfg.requests(); i++ {
+		size := lo + rng.Intn(hi-lo+1)
+		if size > len(corpus) {
+			size = len(corpus)
+		}
+		off := rng.Intn(len(corpus) - size + 1)
+		payload := corpus[off : off+size]
+		seq := uint64(i)
+		t0 := time.Now()
+		if err := sendFrame(fw, wire.Frame{Type: wire.TData, Svc: wire.SvcDedup, Tenant: tenant, Seq: seq, Payload: payload}); err != nil {
+			res.err = fmt.Errorf("send request %d: %w", seq, err)
+			return
+		}
+		res.sent += int64(size)
+		v, err := awaitVerdict(fr, seq)
+		if err != nil {
+			res.err = err
+			return
+		}
+		if v.Type == wire.TReject {
+			res.rejected++
+			continue
+		}
+		res.accepted++
+		res.lats = append(res.lats, time.Since(t0).Seconds())
+		res.recv += int64(len(v.Payload))
+		archive.Write(v.Payload)
+		if cfg.Verify {
+			expected.Write(payload)
+		}
+	}
+	tail, err := endStream(fw, fr, res)
+	if err != nil {
+		res.err = err
+		return
+	}
+	archive.Write(tail)
+	if cfg.Verify {
+		var restored bytes.Buffer
+		if err := dedup.Restore(bytes.NewReader(archive.Bytes()), &restored); err != nil {
+			res.restoreFailed = true
+			res.err = fmt.Errorf("restore: %w", err)
+			return
+		}
+		if !bytes.Equal(restored.Bytes(), expected.Bytes()) {
+			res.restoreFailed = true
+			res.err = fmt.Errorf("restore mismatch: %d bytes restored, %d sent", restored.Len(), expected.Len())
+		}
+	}
+}
+
+// runMandelClient requests random row ranges and optionally recomputes them
+// locally for verification.
+func runMandelClient(cfg Config, rng *rand.Rand, tenant uint32, fw *wire.Writer, fr *wire.Reader, res *clientResult) {
+	dim, niter, rows := cfg.mandelShape()
+	p := mandel.Params{Dim: dim, Niter: niter, InitA: -2.0, InitB: -1.25, Range: 2.5}
+	row := make([]byte, dim)
+	for i := 0; i < cfg.requests(); i++ {
+		nrows := 1 + rng.Intn(rows)
+		row0 := rng.Intn(dim - nrows + 1)
+		req := MandelReqPayload(uint32(dim), uint32(niter), uint32(row0), uint32(nrows))
+		seq := uint64(i)
+		t0 := time.Now()
+		if err := sendFrame(fw, wire.Frame{Type: wire.TData, Svc: wire.SvcMandel, Tenant: tenant, Seq: seq, Payload: req}); err != nil {
+			res.err = fmt.Errorf("send request %d: %w", seq, err)
+			return
+		}
+		res.sent += int64(len(req))
+		v, err := awaitVerdict(fr, seq)
+		if err != nil {
+			res.err = err
+			return
+		}
+		if v.Type == wire.TReject {
+			res.rejected++
+			continue
+		}
+		res.accepted++
+		res.lats = append(res.lats, time.Since(t0).Seconds())
+		res.recv += int64(len(v.Payload))
+		if len(v.Payload) != nrows*dim {
+			res.restoreFailed = true
+			res.err = fmt.Errorf("request %d: %d response bytes, want %d", seq, len(v.Payload), nrows*dim)
+			return
+		}
+		if cfg.Verify {
+			for r := 0; r < nrows; r++ {
+				p.ComputeRow(row0+r, row)
+				if !bytes.Equal(v.Payload[r*dim:(r+1)*dim], row) {
+					res.restoreFailed = true
+					res.err = fmt.Errorf("request %d: row %d mismatch", seq, row0+r)
+					return
+				}
+			}
+		}
+	}
+	if _, err := endStream(fw, fr, res); err != nil {
+		res.err = err
+	}
+}
+
+// MandelReqPayload encodes a row-range request body.
+func MandelReqPayload(dim, niter, row0, nrows uint32) []byte {
+	return server.AppendMandelReq(nil, server.MandelReq{Dim: dim, Niter: niter, Row0: row0, NRows: nrows})
+}
+
+// endStream performs the TEnd handshake, collecting any trailing result
+// payloads and the TEnd tail (residual archive bytes).
+func endStream(fw *wire.Writer, fr *wire.Reader, res *clientResult) ([]byte, error) {
+	if err := sendFrame(fw, wire.Frame{Type: wire.TEnd}); err != nil {
+		return nil, fmt.Errorf("send end: %w", err)
+	}
+	var tail bytes.Buffer
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return tail.Bytes(), nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("awaiting end: %w", err)
+		}
+		switch f.Type {
+		case wire.TEnd:
+			tail.Write(f.Payload)
+			res.recv += int64(len(f.Payload))
+			return tail.Bytes(), nil
+		case wire.TResult:
+			tail.Write(f.Payload)
+			res.recv += int64(len(f.Payload))
+		case wire.TError:
+			return nil, fmt.Errorf("server error at end: %s", f.Payload)
+		}
+	}
+}

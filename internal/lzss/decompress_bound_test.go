@@ -1,0 +1,23 @@
+package lzss
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestDecompressRejectsImpossibleExpansion: a few-byte input declaring an
+// output length beyond the format's maximum expansion (MaxMatch per
+// compressed byte) must be rejected before the output buffer is allocated.
+func TestDecompressRejectsImpossibleExpansion(t *testing.T) {
+	hostile := binary.AppendUvarint(nil, 1<<30)
+	hostile = append(hostile, 0, 'x')
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Decompress(hostile); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	if allocs > 5 {
+		t.Errorf("hostile header cost %v allocations per run", allocs)
+	}
+}

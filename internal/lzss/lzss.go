@@ -340,6 +340,13 @@ func Decompress(comp []byte) ([]byte, error) {
 	if n > 1<<31 {
 		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
 	}
+	// Each compressed byte expands to at most MaxMatch output bytes (a
+	// 2-byte pair yields <= MaxMatch, a literal yields 1), so a declared
+	// length beyond that bound is corrupt — reject it before allocating,
+	// or a tiny hostile input could demand gigabytes.
+	if n > uint64(len(comp))*MaxMatch {
+		return nil, fmt.Errorf("%w: length %d exceeds max expansion of %d input bytes", ErrCorrupt, n, len(comp))
+	}
 	out := make([]byte, 0, n)
 	p := used
 	var flags byte

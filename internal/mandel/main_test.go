@@ -1,0 +1,10 @@
+package mandel
+
+import (
+	"testing"
+
+	"streamgpu/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks farm or runtime goroutines.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MandelReq is the SvcMandel request payload: compute NRows rows starting
+// at Row0 of a Dim×Dim Mandelbrot image over the paper's complex-plane
+// window, iterating Niter times per pixel. Encoded as four big-endian
+// uint32s (16 bytes).
+type MandelReq struct {
+	Dim   uint32
+	Niter uint32
+	Row0  uint32
+	NRows uint32
+}
+
+// Validation caps: a request may not demand more device time or response
+// memory than one dedup batch's worth, so admission can treat the two
+// services uniformly.
+const (
+	mandelMaxDim   = 8192
+	mandelMaxNiter = 1 << 20
+	mandelMaxOut   = 1 << 20 // response bytes (Dim * NRows)
+	mandelReqLen   = 16
+)
+
+// AppendMandelReq encodes r onto dst.
+func AppendMandelReq(dst []byte, r MandelReq) []byte {
+	var b [mandelReqLen]byte
+	binary.BigEndian.PutUint32(b[0:], r.Dim)
+	binary.BigEndian.PutUint32(b[4:], r.Niter)
+	binary.BigEndian.PutUint32(b[8:], r.Row0)
+	binary.BigEndian.PutUint32(b[12:], r.NRows)
+	return append(dst, b[:]...)
+}
+
+// ParseMandelReq decodes and validates a request payload. Every bound is
+// checked before any allocation happens downstream, so a hostile payload
+// cannot size a response buffer.
+func ParseMandelReq(p []byte) (MandelReq, error) {
+	if len(p) != mandelReqLen {
+		return MandelReq{}, fmt.Errorf("mandel request: %d payload bytes, want %d", len(p), mandelReqLen)
+	}
+	r := MandelReq{
+		Dim:   binary.BigEndian.Uint32(p[0:]),
+		Niter: binary.BigEndian.Uint32(p[4:]),
+		Row0:  binary.BigEndian.Uint32(p[8:]),
+		NRows: binary.BigEndian.Uint32(p[12:]),
+	}
+	switch {
+	case r.Dim == 0 || r.Dim > mandelMaxDim:
+		return MandelReq{}, fmt.Errorf("mandel request: dim %d out of range [1,%d]", r.Dim, mandelMaxDim)
+	case r.Niter == 0 || r.Niter > mandelMaxNiter:
+		return MandelReq{}, fmt.Errorf("mandel request: niter %d out of range [1,%d]", r.Niter, mandelMaxNiter)
+	case r.NRows == 0 || uint64(r.Row0)+uint64(r.NRows) > uint64(r.Dim):
+		return MandelReq{}, fmt.Errorf("mandel request: rows [%d,%d) outside image of %d rows", r.Row0, uint64(r.Row0)+uint64(r.NRows), r.Dim)
+	case uint64(r.Dim)*uint64(r.NRows) > mandelMaxOut:
+		return MandelReq{}, fmt.Errorf("mandel request: %d response bytes exceed cap %d", uint64(r.Dim)*uint64(r.NRows), mandelMaxOut)
+	}
+	return r, nil
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"strconv"
+
+	"streamgpu/internal/server/wire"
+	"streamgpu/internal/telemetry"
+)
+
+// tenantLabels identifies one tenant's series of a per-service metric.
+// Tenant IDs come from the client, so their cardinality is bounded by the
+// deployment's tenant population, not by request volume.
+func tenantLabels(svc wire.Svc, tenant uint32) telemetry.Labels {
+	return telemetry.Labels{"svc": svc.String(), "tenant": strconv.FormatUint(uint64(tenant), 10)}
+}
+
+// verdictLabels extends tenantLabels with the admission verdict.
+func verdictLabels(svc wire.Svc, tenant uint32, verdict string) telemetry.Labels {
+	l := tenantLabels(svc, tenant)
+	l["verdict"] = verdict
+	return l
+}
+
+// sessionGauge tracks live sessions.
+func (s *Server) sessionGauge(d float64) {
+	s.cfg.Metrics.Gauge("server_sessions", telemetry.Labels{}).Add(d)
+}
+
+// drainingNow reports whether Shutdown has begun.
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// dropSession removes a finished session from the live set.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}

@@ -1,0 +1,417 @@
+// Package server is the streaming service front-end: it turns the repo's
+// one-shot Dedup and Mandelbrot pipelines into resident services that
+// multiplex many concurrent client sessions onto one shared SPar pipeline
+// per application.
+//
+// The shape follows the paper's own runtime argument. FastFlow's bounded
+// lock-free queues exist so a stream can absorb bursts with backpressure
+// instead of unbounded buffering; the server applies the same discipline at
+// the service boundary: a bounded admission window (-max-inflight) under
+// which sessions exert TCP backpressure, and above which requests are
+// fast-fail rejected with a TReject frame — never queued without bound,
+// never a goroutine per item. Small client payloads are coalesced across
+// requests into the pooled 1 MB dedup.Batch containers (the PR 4 free
+// lists), sealed when full, when a client flushes, or when the max-linger
+// deadline expires, so device-sized batches stay full under small-request
+// traffic while latency stays bounded.
+//
+// Graceful drain reuses the fault-tolerance layer's RunContext cancellation
+// paths: Shutdown stops the accept loop, lets sessions flush and their
+// in-flight batches drain through the pipeline, then ends the resident
+// ToStream regions by closing their sources; if the caller's context
+// expires first, the shared context is canceled and the ff runtime's
+// cancel+drain machinery aborts the streams without deadlock.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgpu/internal/core"
+	"streamgpu/internal/dedup"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/mandel"
+	"streamgpu/internal/pool"
+	"streamgpu/internal/server/wire"
+	"streamgpu/internal/telemetry"
+)
+
+// Config sizes the server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// MaxInflight is the admission high-water mark: the number of accepted,
+	// not-yet-answered requests above which new requests are rejected with
+	// TReject instead of queued (default 64).
+	MaxInflight int
+	// Linger bounds how long a partially filled dedup batch may wait for
+	// more client bytes before it is sealed and submitted anyway
+	// (default 2ms). <= 0 keeps the default; coalescing cannot be disabled,
+	// only bounded, because a partial batch must eventually flush.
+	Linger time.Duration
+	// Workers replicates the batch-processing stage (default GOMAXPROCS).
+	Workers int
+	// BatchSize is the dedup coalescing target (default dedup.DefaultBatchSize).
+	BatchSize int
+	// MaxPayload caps one request frame's payload (default BatchSize).
+	MaxPayload int
+	// GPU offloads dedup batch processing to the simulated device (per-batch
+	// kernels with retry and CPU degradation).
+	GPU bool
+	// MaxRetries bounds per-batch transient-fault retries on the GPU path.
+	MaxRetries int
+	// Faults configures the GPU path's fault injector; the zero value
+	// injects nothing.
+	Faults fault.Config
+	// Metrics, when set, receives the server's per-tenant counters and
+	// histograms plus the pipeline and device instrumentation. nil is off.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 64
+	}
+	return c.MaxInflight
+}
+
+func (c Config) linger() time.Duration {
+	if c.Linger <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.Linger
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return dedup.DefaultBatchSize
+	}
+	return c.BatchSize
+}
+
+func (c Config) maxPayload() int {
+	if c.MaxPayload > 0 {
+		return c.MaxPayload
+	}
+	return c.batchSize()
+}
+
+// Server is a resident streaming service. Create with New, run with Serve,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	jobs  chan *job
+	mjobs chan *mandelJob
+
+	inflight atomic.Int64
+
+	payloads *pool.Bytes
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	draining bool
+	started  bool
+
+	sessWG sync.WaitGroup
+	pipeWG sync.WaitGroup
+
+	pipeMu   sync.Mutex
+	pipeErrs []error
+
+	done        chan struct{}
+	shutdownErr error
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		// The job channels are the bounded admission queues feeding the
+		// resident pipelines: capacity tracks the admission window, so a
+		// full window exerts backpressure on session readers (and through
+		// them, TCP) instead of buffering without bound.
+		jobs:     make(chan *job, cfg.maxInflight()),
+		mjobs:    make(chan *mandelJob, cfg.maxInflight()),
+		payloads: pool.NewBytes("server.payload"),
+		sessions: make(map[*session]struct{}),
+		done:     make(chan struct{}),
+	}
+	s.payloads.SetTelemetry(cfg.Metrics)
+	cfg.Metrics.GaugeFunc("server_inflight", telemetry.Labels{}, func() float64 {
+		return float64(s.inflight.Load())
+	})
+	return s
+}
+
+// Serve accepts connections on ln and blocks until Shutdown completes (or
+// the listener fails for a reason other than shutdown). The resident
+// pipelines start on the first call.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("server: Serve called twice")
+	}
+	s.started = true
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.startPipelines()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				<-s.done
+				return s.shutdownErr
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.sessWG.Add(1)
+		go sess.run()
+	}
+}
+
+// Shutdown drains the server: stop accepting, let sessions flush and their
+// in-flight work complete, then end the resident pipelines. If ctx expires
+// first, the shared context is canceled — sessions are disconnected and the
+// ff cancel+drain path aborts the streams — and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.done
+		return s.shutdownErr
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	var forced error
+	if !s.waitCtx(ctx, &s.sessWG) {
+		// Sessions did not drain in time: cancel the shared context (which
+		// unblocks submissions and session waits) and force-close their
+		// connections so read loops exit.
+		forced = ctx.Err()
+		s.cancel()
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		s.sessWG.Wait()
+	}
+
+	// All producers are gone: closing the sources ends the resident
+	// ToStream regions through their normal EOS path.
+	close(s.jobs)
+	close(s.mjobs)
+	if !s.waitCtx(ctx, &s.pipeWG) {
+		forced = ctx.Err()
+		s.cancel()
+		s.pipeWG.Wait()
+	}
+	s.cancel()
+
+	s.pipeMu.Lock()
+	for _, err := range s.pipeErrs {
+		if err != nil && !errors.Is(err, context.Canceled) && forced == nil {
+			forced = err
+		}
+	}
+	s.pipeMu.Unlock()
+	s.shutdownErr = forced
+	close(s.done)
+	return forced
+}
+
+// waitCtx waits for wg, bounded by ctx; it reports whether the group
+// finished in time.
+func (s *Server) waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// startPipelines launches the two resident ToStream regions. Each runs
+// until its source channel closes (graceful drain) or the shared context is
+// canceled (forced drain).
+func (s *Server) startPipelines() {
+	gopt := dedup.GPUOptions{
+		Options:    dedup.Options{Metrics: s.cfg.Metrics},
+		MaxRetries: s.cfg.MaxRetries,
+		Faults:     s.cfg.Faults,
+	}
+	useGPU := s.cfg.GPU
+
+	dedupTS := core.NewToStream(core.Ordered(),
+		core.Telemetry(s.cfg.Metrics, "serve-dedup")).
+		StageWorkers(func() core.Worker {
+			return &dedupWorker{p: dedup.NewProcessor(gopt, useGPU)}
+		}, core.Replicate(s.cfg.workers()), core.Name("process")).
+		Stage(s.dedupSink, core.Name("write+respond"))
+
+	mandelTS := core.NewToStream(core.Ordered(),
+		core.Telemetry(s.cfg.Metrics, "serve-mandel")).
+		Stage(s.mandelCompute, core.Replicate(s.cfg.workers()), core.Name("compute")).
+		Stage(s.mandelSink, core.Name("respond"))
+
+	s.pipeWG.Add(2)
+	go func() {
+		defer s.pipeWG.Done()
+		err := dedupTS.RunContext(s.ctx, func(emit func(any)) {
+			for j := range s.jobs {
+				emit(j)
+			}
+		})
+		s.recordPipeErr(err)
+	}()
+	go func() {
+		defer s.pipeWG.Done()
+		err := mandelTS.RunContext(s.ctx, func(emit func(any)) {
+			for mj := range s.mjobs {
+				emit(mj)
+			}
+		})
+		s.recordPipeErr(err)
+	}()
+}
+
+func (s *Server) recordPipeErr(err error) {
+	s.pipeMu.Lock()
+	s.pipeErrs = append(s.pipeErrs, err)
+	s.pipeMu.Unlock()
+}
+
+// dedupWorker is one replica of the shared batch-processing stage.
+type dedupWorker struct {
+	p *dedup.Processor
+}
+
+// Init implements core.Worker.
+func (w *dedupWorker) Init() error { return nil }
+
+// End implements core.Worker.
+func (w *dedupWorker) End() {}
+
+// Process implements core.Worker: hash, dedup-mark and compress one batch
+// against its session's store.
+func (w *dedupWorker) Process(item any, emit func(any)) {
+	j := item.(*job)
+	w.p.Process(j.batch, j.sess.store)
+	emit(j)
+}
+
+// dedupSink is the serial ordered tail of the dedup pipeline: it appends
+// each batch to its session's archive stream, ships the archive delta to
+// the client for every request the batch completes, and recycles the batch
+// and its payload buffer.
+func (s *Server) dedupSink(item any, _ func(any)) {
+	j := item.(*job)
+	sess := j.sess
+	if err := j.batch.WriteBlocks(sess.dw); err != nil {
+		sess.fail(fmt.Errorf("archive write: %w", err))
+	}
+	if len(j.done) > 0 {
+		if err := sess.dw.Flush(); err != nil {
+			sess.fail(fmt.Errorf("archive flush: %w", err))
+		}
+		// The archive delta belongs to the session stream, not to one
+		// request; it rides the first completion frame and the rest are
+		// bare acknowledgements. Clients concatenate every result payload.
+		// A batch completing no request leaves its bytes buffered for the
+		// next completing batch (or the final TEnd flush).
+		delta := sess.takeArchiveDelta()
+		now := time.Now()
+		for i, c := range j.done {
+			payload := delta
+			if i > 0 {
+				payload = nil
+			}
+			sess.sendResult(wire.SvcDedup, c.seq, c.tenant, payload)
+			s.observeDone(wire.SvcDedup, c.tenant, len(payload), now.Sub(c.t0))
+		}
+	}
+	j.batch.Release()
+	s.payloads.Release(j.data)
+	sess.jobDone(len(j.done))
+}
+
+// mandelCompute is one replica of the Mandelbrot row farm.
+func (s *Server) mandelCompute(item any, emit func(any)) {
+	mj := item.(*mandelJob)
+	dim := int(mj.req.Dim)
+	out := s.payloads.Get(dim * int(mj.req.NRows))
+	p := mandelParams(mj.req)
+	for r := 0; r < int(mj.req.NRows); r++ {
+		p.ComputeRow(int(mj.req.Row0)+r, out[r*dim:(r+1)*dim])
+	}
+	mj.out = out
+	emit(mj)
+}
+
+// mandelSink responds to completed row-range requests in order.
+func (s *Server) mandelSink(item any, _ func(any)) {
+	mj := item.(*mandelJob)
+	mj.sess.sendResult(wire.SvcMandel, mj.seq, mj.tenant, mj.out)
+	s.observeDone(wire.SvcMandel, mj.tenant, len(mj.out), time.Since(mj.t0))
+	s.payloads.Release(mj.out)
+	mj.sess.jobDone(1)
+}
+
+// mandelParams maps a validated request onto the paper's complex-plane
+// window.
+func mandelParams(r MandelReq) mandel.Params {
+	return mandel.Params{
+		Dim: int(r.Dim), Niter: int(r.Niter),
+		InitA: -2.0, InitB: -1.25, Range: 2.5,
+	}
+}
+
+// observeDone finishes one accepted request: service-time histogram,
+// response byte counter, admission-window release.
+func (s *Server) observeDone(svc wire.Svc, tenant uint32, respBytes int, d time.Duration) {
+	s.inflight.Add(-1)
+	m := s.cfg.Metrics
+	m.Counter("server_response_bytes_total", tenantLabels(svc, tenant)).Add(int64(respBytes))
+	m.Histogram("server_service_seconds", nil, tenantLabels(svc, tenant)).ObserveDuration(d)
+}

@@ -1,0 +1,433 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgpu/internal/dedup"
+	"streamgpu/internal/rabin"
+	"streamgpu/internal/server/wire"
+	"streamgpu/internal/telemetry"
+)
+
+// completion records one accepted request whose final byte lands in a
+// particular batch: when that batch's archive records are written, the
+// request is answered and its service time observed.
+type completion struct {
+	seq    uint64
+	tenant uint32
+	t0     time.Time
+}
+
+// job is one sealed dedup batch flowing through the shared pipeline.
+type job struct {
+	sess  *session
+	batch *dedup.Batch
+	// data is the pooled payload buffer batch.Data aliases; the sink
+	// returns it to the server's byte pool after the batch is written.
+	data []byte
+	// done lists the requests this batch completes, in arrival order.
+	done []completion
+}
+
+// mandelJob is one row-range request flowing through the Mandelbrot farm.
+type mandelJob struct {
+	sess   *session
+	seq    uint64
+	tenant uint32
+	t0     time.Time
+	req    MandelReq
+	out    []byte // filled by the compute stage (pooled)
+}
+
+// session is one client connection: a read loop that stages request bytes
+// into coalesced batches, plus the per-session archive state the ordered
+// sink writes into.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex // serializes response frames (sinks and read loop both write)
+	fw  *wire.Writer
+
+	// Staging state, guarded by mu. The linger timer and the read loop both
+	// seal batches; sealing submits to the shared pipeline *under mu* so
+	// batch sequence numbers enter the (ordered) pipeline in order — the
+	// sink never takes mu, so holding it across a blocking submit cannot
+	// deadlock.
+	mu       sync.Mutex
+	cur      []byte // pooled staging buffer; nil when empty
+	pending  []completion
+	batchSeq int
+	chunker  *rabin.Chunker
+	linger   *time.Timer
+
+	// Archive state, touched only by the serial ordered sink (plus the read
+	// loop's final flush, which runs strictly after the last job drains).
+	store *dedup.Store
+	out   bytes.Buffer
+	dw    *dedup.Writer
+
+	// Outstanding-job accounting for drain, guarded by cmu.
+	cmu         sync.Mutex
+	outstanding int
+	ended       bool
+	drained     chan struct{}
+
+	dead atomic.Bool
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		fw:      wire.NewWriter(conn),
+		chunker: rabin.NewChunker(),
+		store:   dedup.NewStore(),
+		drained: make(chan struct{}),
+	}
+	sess.dw = dedup.NewWriter(&sess.out)
+	return sess
+}
+
+// run is the session goroutine: decode frames until the client ends the
+// stream, the connection drops, or the server drains.
+func (sess *session) run() {
+	defer sess.srv.sessWG.Done()
+	defer sess.srv.dropSession(sess)
+	defer sess.conn.Close()
+
+	sess.srv.sessionGauge(+1)
+	defer sess.srv.sessionGauge(-1)
+
+	fr := wire.NewReader(sess.conn, sess.srv.cfg.maxPayload())
+	clean := false
+loop:
+	for {
+		// Idle-poll with a short deadline so the session notices server
+		// drain: Peek consumes nothing, so an expiry here cannot strand a
+		// half-read frame. Once bytes are flowing, the frame itself gets a
+		// generous deadline.
+		sess.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		if err := fr.Peek(); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if sess.srv.drainingNow() {
+					break loop
+				}
+				continue
+			}
+			if err != io.EOF {
+				sess.fail(fmt.Errorf("read: %w", err))
+			}
+			break loop
+		}
+		sess.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		f, err := fr.Next()
+		if err != nil {
+			if err != io.EOF {
+				sess.fail(fmt.Errorf("read: %w", err))
+			}
+			break loop
+		}
+		switch f.Type {
+		case wire.TData:
+			if !sess.handleData(f) {
+				break loop
+			}
+		case wire.TFlush:
+			sess.flushPartial(sealFlush)
+		case wire.TEnd:
+			clean = true
+			break loop
+		default:
+			sess.fail(fmt.Errorf("unexpected %s frame from client", f.Type))
+			break loop
+		}
+	}
+	sess.finish(clean)
+}
+
+// handleData validates, admits and stages one request. It returns false on
+// a fatal protocol error.
+func (sess *session) handleData(f wire.Frame) bool {
+	s := sess.srv
+	if len(f.Payload) == 0 {
+		sess.fail(errors.New("empty request payload"))
+		return false
+	}
+	var mreq MandelReq
+	switch f.Svc {
+	case wire.SvcDedup:
+	case wire.SvcMandel:
+		var err error
+		if mreq, err = ParseMandelReq(f.Payload); err != nil {
+			sess.fail(err)
+			return false
+		}
+	default:
+		sess.fail(fmt.Errorf("unknown service %d", uint8(f.Svc)))
+		return false
+	}
+	s.cfg.Metrics.Counter("server_request_bytes_total", tenantLabels(f.Svc, f.Tenant)).
+		Add(int64(len(f.Payload)))
+
+	// Admission: under the high-water mark the request is accepted (and the
+	// bounded job channels push backpressure up through this goroutine to
+	// TCP); at or above it the request is dropped with a fast-fail verdict.
+	if s.inflight.Load() >= int64(s.cfg.maxInflight()) {
+		s.cfg.Metrics.Counter("server_requests_total", verdictLabels(f.Svc, f.Tenant, "rejected")).Inc()
+		sess.sendFrame(wire.Frame{Type: wire.TReject, Svc: f.Svc, Tenant: f.Tenant, Seq: f.Seq})
+		return true
+	}
+	s.inflight.Add(1)
+	s.cfg.Metrics.Counter("server_requests_total", verdictLabels(f.Svc, f.Tenant, "accepted")).Inc()
+
+	switch f.Svc {
+	case wire.SvcDedup:
+		sess.stageDedup(f)
+	case wire.SvcMandel:
+		mj := &mandelJob{sess: sess, seq: f.Seq, tenant: f.Tenant, t0: time.Now(), req: mreq}
+		sess.addOutstanding(1)
+		select {
+		case s.mjobs <- mj:
+		case <-s.ctx.Done():
+			sess.dropJob(1)
+		}
+	}
+	return true
+}
+
+// Seal triggers, recorded per batch for the coalescing metrics.
+const (
+	sealFull  = "full"
+	sealLing  = "linger"
+	sealFlush = "flush"
+	sealEnd   = "end"
+)
+
+// stageDedup appends one accepted request's bytes to the session's staging
+// buffer, sealing every batch it fills. The request's completion is
+// attached to the batch holding its final byte; if that batch stays
+// partial, the completion waits in pending for the seal that eventually
+// ships it (next request, client flush, linger expiry, or stream end).
+func (sess *session) stageDedup(f wire.Frame) {
+	s := sess.srv
+	batchSize := s.cfg.batchSize()
+	c := completion{seq: f.Seq, tenant: f.Tenant, t0: time.Now()}
+	payload := f.Payload
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for {
+		if sess.cur == nil {
+			sess.cur = s.payloads.Get(batchSize)[:0]
+		}
+		take := batchSize - len(sess.cur)
+		if take > len(payload) {
+			take = len(payload)
+		}
+		sess.cur = append(sess.cur, payload[:take]...)
+		payload = payload[take:]
+		if len(payload) == 0 {
+			sess.pending = append(sess.pending, c)
+			if len(sess.cur) == batchSize {
+				sess.sealLocked(sealFull)
+			}
+			break
+		}
+		// The request continues past this batch: seal without completion.
+		sess.sealLocked(sealFull)
+	}
+	sess.armLingerLocked()
+}
+
+// sealLocked turns the staging buffer into a pooled batch and submits it to
+// the shared pipeline. Called with mu held; the blocking submit keeps batch
+// order equal to sequence order (the ordered pipeline preserves it from
+// there) and is what turns a full admission queue into backpressure.
+func (sess *session) sealLocked(trigger string) {
+	if len(sess.cur) == 0 {
+		return
+	}
+	s := sess.srv
+	j := &job{
+		sess:  sess,
+		batch: dedup.NewStreamBatch(sess.batchSeq, sess.cur, sess.chunker),
+		data:  sess.cur,
+		done:  sess.pending,
+	}
+	sess.batchSeq++
+	sess.cur = nil
+	sess.pending = nil
+	m := s.cfg.Metrics
+	m.Counter("server_batches_sealed_total", telemetry.Labels{"trigger": trigger}).Inc()
+	m.Counter("server_batch_bytes_total", telemetry.Labels{}).Add(int64(len(j.data)))
+	sess.addOutstanding(1)
+	select {
+	case s.jobs <- j:
+	case <-s.ctx.Done():
+		// Forced drain: the pipeline is going away, recycle and give up on
+		// the batch's requests (the client is being disconnected anyway).
+		j.batch.Release()
+		s.payloads.Release(j.data)
+		for range j.done {
+			s.inflight.Add(-1)
+		}
+		sess.dropJob(1)
+	}
+}
+
+// flushPartial seals the partial batch outside the data path (client flush,
+// linger expiry, stream end).
+func (sess *session) flushPartial(trigger string) {
+	sess.mu.Lock()
+	sess.sealLocked(trigger)
+	sess.mu.Unlock()
+}
+
+// armLingerLocked (re)arms the linger timer while a partial batch is
+// staged. Called with mu held.
+func (sess *session) armLingerLocked() {
+	d := sess.srv.cfg.linger()
+	if sess.cur == nil {
+		if sess.linger != nil {
+			sess.linger.Stop()
+		}
+		return
+	}
+	if sess.linger == nil {
+		sess.linger = time.AfterFunc(d, func() { sess.flushPartial(sealLing) })
+		return
+	}
+	sess.linger.Reset(d)
+}
+
+// finish drains the session: seal what remains, wait for the pipeline to
+// answer every outstanding job, then send the final TEnd (carrying any
+// residual archive bytes) and close.
+func (sess *session) finish(clean bool) {
+	sess.mu.Lock()
+	if sess.linger != nil {
+		sess.linger.Stop()
+	}
+	sess.sealLocked(sealEnd)
+	sess.mu.Unlock()
+
+	sess.cmu.Lock()
+	sess.ended = true
+	if sess.outstanding == 0 {
+		sess.closeDrainedLocked()
+	}
+	sess.cmu.Unlock()
+
+	select {
+	case <-sess.drained:
+	case <-sess.srv.ctx.Done():
+		// Forced drain: canceled pipelines discard items without running
+		// the sink, so outstanding may never reach zero.
+	}
+
+	if clean && !sess.dead.Load() {
+		// All jobs are answered, so the sink no longer touches this
+		// session's archive state: flush any tail the last result frame did
+		// not carry and end the stream.
+		var tail []byte
+		if err := sess.dw.Flush(); err == nil {
+			tail = sess.takeArchiveDelta()
+		}
+		sess.sendFrame(wire.Frame{Type: wire.TEnd, Svc: wire.SvcDedup, Payload: tail})
+	}
+}
+
+// closeDrainedLocked closes the drained channel once. Called with cmu held.
+func (sess *session) closeDrainedLocked() {
+	select {
+	case <-sess.drained:
+	default:
+		close(sess.drained)
+	}
+}
+
+// addOutstanding registers n submitted jobs.
+func (sess *session) addOutstanding(n int) {
+	sess.cmu.Lock()
+	sess.outstanding += n
+	sess.cmu.Unlock()
+}
+
+// jobDone is called by a sink after fully processing one job; nDone is the
+// number of requests it answered (informational only).
+func (sess *session) jobDone(int) {
+	sess.cmu.Lock()
+	sess.outstanding--
+	if sess.ended && sess.outstanding == 0 {
+		sess.closeDrainedLocked()
+	}
+	sess.cmu.Unlock()
+}
+
+// dropJob un-registers a job that was never submitted (forced drain).
+func (sess *session) dropJob(n int) {
+	sess.cmu.Lock()
+	sess.outstanding -= n
+	if sess.ended && sess.outstanding == 0 {
+		sess.closeDrainedLocked()
+	}
+	sess.cmu.Unlock()
+}
+
+// takeArchiveDelta removes and returns the archive bytes produced since the
+// previous call. Only the sink (or finish, after the drain barrier) calls
+// it.
+func (sess *session) takeArchiveDelta() []byte {
+	if sess.out.Len() == 0 {
+		return nil
+	}
+	delta := make([]byte, sess.out.Len())
+	copy(delta, sess.out.Bytes())
+	sess.out.Reset()
+	return delta
+}
+
+// sendResult ships one TResult frame.
+func (sess *session) sendResult(svc wire.Svc, seq uint64, tenant uint32, payload []byte) {
+	sess.sendFrame(wire.Frame{Type: wire.TResult, Svc: svc, Tenant: tenant, Seq: seq, Payload: payload})
+}
+
+// sendFrame writes and flushes one frame; write errors mark the session
+// dead (the pipeline keeps draining, responses are dropped).
+func (sess *session) sendFrame(f wire.Frame) {
+	if sess.dead.Load() {
+		return
+	}
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	sess.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := sess.fw.Write(f); err != nil {
+		sess.dead.Store(true)
+		return
+	}
+	if err := sess.fw.Flush(); err != nil {
+		sess.dead.Store(true)
+	}
+}
+
+// fail reports a fatal session error to the client and marks the session
+// dead.
+func (sess *session) fail(err error) {
+	if sess.dead.Load() {
+		return
+	}
+	sess.sendFrame(wire.Frame{Type: wire.TError, Payload: []byte(err.Error())})
+	sess.dead.Store(true)
+}
+
+// failed reports whether the session has been marked dead.
+func (sess *session) failed() bool { return sess.dead.Load() }

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to both decoders. The contracts:
+// neither panics; a successful Decode re-encodes to exactly the consumed
+// bytes; Reader.Next errors are always io.EOF or ErrFrame-wrapped; and the
+// two decoders agree on the frames they extract.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 1})
+	f.Add(Append(nil, Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 2, Payload: []byte("seed")}))
+	f.Add(Append(Append(nil, Frame{Type: TEnd}), Frame{Type: TResult, Seq: 9, Payload: []byte("xy")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Buffer decoder: walk as many frames as the data holds.
+		var fromDecode []Frame
+		rest := data
+		for {
+			fr, n, err := Decode(rest)
+			if err != nil {
+				if !errors.Is(err, ErrFrame) {
+					t.Fatalf("Decode error %v does not wrap ErrFrame", err)
+				}
+				break
+			}
+			if n <= 0 || n > len(rest) {
+				t.Fatalf("Decode consumed %d of %d", n, len(rest))
+			}
+			if re := Append(nil, fr); !bytes.Equal(re, rest[:n]) {
+				t.Fatalf("re-encode mismatch: %x != %x", re, rest[:n])
+			}
+			// Copy: the payload aliases rest, and we compare across decoders.
+			fr.Payload = append([]byte(nil), fr.Payload...)
+			fromDecode = append(fromDecode, fr)
+			rest = rest[n:]
+		}
+
+		// Stream decoder over the same bytes must yield the same frames.
+		rd := NewReader(bytes.NewReader(data), DefaultMaxPayload)
+		var fromReader []Frame
+		for {
+			fr, err := rd.Next()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrFrame) {
+					t.Fatalf("Reader error %v is neither io.EOF nor ErrFrame", err)
+				}
+				break
+			}
+			fr.Payload = append([]byte(nil), fr.Payload...)
+			fromReader = append(fromReader, fr)
+		}
+		if len(fromReader) < len(fromDecode) {
+			t.Fatalf("Reader decoded %d frames, Decode %d", len(fromReader), len(fromDecode))
+		}
+		for i, fr := range fromDecode {
+			got := fromReader[i]
+			if got.Type != fr.Type || got.Svc != fr.Svc || got.Tenant != fr.Tenant || got.Seq != fr.Seq || !bytes.Equal(got.Payload, fr.Payload) {
+				t.Fatalf("frame %d: Reader %+v != Decode %+v", i, got, fr)
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip encodes arbitrary frame fields and checks both decode
+// paths reproduce them exactly.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint32(0), uint64(0), []byte{})
+	f.Add(uint8(4), uint8(2), uint32(77), uint64(1<<40), []byte("payload"))
+	f.Add(uint8(255), uint8(255), uint32(1<<31), uint64(3), bytes.Repeat([]byte{7}, 300))
+	f.Fuzz(func(t *testing.T, typ, svc uint8, tenant uint32, seq uint64, payload []byte) {
+		in := Frame{Type: Type(typ), Svc: Svc(svc), Tenant: tenant, Seq: seq, Payload: payload}
+		enc := Append(nil, in)
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if got.Type != in.Type || got.Svc != in.Svc || got.Tenant != in.Tenant || got.Seq != in.Seq || !bytes.Equal(got.Payload, in.Payload) {
+			t.Fatalf("Decode round-trip: got %+v want %+v", got, in)
+		}
+		rd := NewReader(bytes.NewReader(enc), len(payload)+1)
+		sg, err := rd.Next()
+		if err != nil {
+			t.Fatalf("Reader round-trip: %v", err)
+		}
+		if sg.Type != in.Type || sg.Svc != in.Svc || sg.Tenant != in.Tenant || sg.Seq != in.Seq || !bytes.Equal(sg.Payload, in.Payload) {
+			t.Fatalf("Reader round-trip: got %+v want %+v", sg, in)
+		}
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("trailing read: %v, want io.EOF", err)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+// Package wire is the streaming service's binary frame protocol: a
+// length-prefixed codec carrying a frame type, the target service, a tenant
+// ID, a request sequence number, and an opaque payload.
+//
+// The framing is deliberately minimal — FastFlow's argument (TR-09-12) is
+// that sustained streaming lives or dies on per-item overhead, so the header
+// is a fixed 18 bytes with no varints and no reflection, and decoding is
+// zero-copy: Decode and Reader.Next return payloads that alias the input
+// buffer. The length prefix is validated against a payload cap *before* any
+// allocation, so a corrupted or hostile length field can never over-allocate
+// (the contract the FuzzFrameDecode target enforces).
+//
+// Layout, all integers big-endian:
+//
+//	u32  length   // bytes after this field: 14 + len(payload)
+//	u8   type     // Type
+//	u8   svc      // Svc
+//	u32  tenant
+//	u64  seq
+//	...  payload
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Type discriminates frames.
+type Type uint8
+
+// Frame types. Client→server frames carry request payloads and stream
+// control; server→client frames carry results and admission verdicts.
+const (
+	// TData (client→server) is one request: Seq identifies it and the
+	// payload is the request body (stream bytes for SvcDedup, an encoded
+	// row-range request for SvcMandel).
+	TData Type = 1
+	// TFlush (client→server) asks the server to seal and submit the
+	// session's partially filled batch immediately instead of waiting for
+	// the linger deadline.
+	TFlush Type = 2
+	// TEnd ends the stream. Client→server it means "no more requests: flush
+	// everything"; the server answers with a final TEnd after the last
+	// result frame, then closes.
+	TEnd Type = 3
+	// TResult (server→client) completes request Seq. For SvcDedup the
+	// payload is the archive bytes produced since the previous result frame
+	// on this session; for SvcMandel it is the computed pixel rows.
+	TResult Type = 4
+	// TReject (server→client) fast-fails request Seq: the server is over
+	// its admission high-water mark and dropped the request unprocessed.
+	TReject Type = 5
+	// TError (server→client) reports a fatal session error; the payload is
+	// a human-readable message and the connection closes after it.
+	TError Type = 6
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case TData:
+		return "data"
+	case TFlush:
+		return "flush"
+	case TEnd:
+		return "end"
+	case TResult:
+		return "result"
+	case TReject:
+		return "reject"
+	case TError:
+		return "error"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Svc selects the resident pipeline a frame targets.
+type Svc uint8
+
+// The two services streamd exposes.
+const (
+	// SvcDedup streams bytes through the shared Dedup compression pipeline.
+	SvcDedup Svc = 1
+	// SvcMandel computes Mandelbrot row ranges on the shared farm.
+	SvcMandel Svc = 2
+)
+
+// String names the service.
+func (s Svc) String() string {
+	switch s {
+	case SvcDedup:
+		return "dedup"
+	case SvcMandel:
+		return "mandel"
+	}
+	return fmt.Sprintf("Svc(%d)", uint8(s))
+}
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    Type
+	Svc     Svc
+	Tenant  uint32
+	Seq     uint64
+	Payload []byte
+}
+
+// Header and limit constants.
+const (
+	// headerLen is the fixed byte count after the length prefix.
+	headerLen = 1 + 1 + 4 + 8
+	// prefixLen is the length prefix itself.
+	prefixLen = 4
+	// DefaultMaxPayload caps payloads at the Dedup batch size: one request
+	// fills at most one batch, so admission counts requests and batches
+	// interchangeably.
+	DefaultMaxPayload = 1 << 20
+)
+
+// Protocol errors.
+var (
+	// ErrFrame reports a malformed frame.
+	ErrFrame = errors.New("wire: bad frame")
+	// ErrTooLarge reports a frame whose declared payload exceeds the
+	// reader's cap. It wraps ErrFrame.
+	ErrTooLarge = fmt.Errorf("%w: payload too large", ErrFrame)
+)
+
+// Append encodes f and appends it to dst, returning the extended slice.
+func Append(dst []byte, f Frame) []byte {
+	var hdr [prefixLen + headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(headerLen+len(f.Payload)))
+	hdr[4] = byte(f.Type)
+	hdr[5] = byte(f.Svc)
+	binary.BigEndian.PutUint32(hdr[6:], f.Tenant)
+	binary.BigEndian.PutUint64(hdr[10:], f.Seq)
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// EncodedLen reports the wire size of f.
+func EncodedLen(f Frame) int { return prefixLen + headerLen + len(f.Payload) }
+
+// Decode parses one frame from the front of b without copying: the returned
+// frame's payload aliases b. It returns the number of bytes consumed.
+// Decode never allocates, so no length field in b can cause memory growth.
+func Decode(b []byte) (Frame, int, error) {
+	if len(b) < prefixLen+headerLen {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrFrame, len(b), prefixLen+headerLen)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < headerLen {
+		return Frame{}, 0, fmt.Errorf("%w: declared length %d below header size", ErrFrame, n)
+	}
+	if uint64(n) > uint64(len(b)-prefixLen) {
+		return Frame{}, 0, fmt.Errorf("%w: declared length %d exceeds buffer %d", ErrFrame, n, len(b)-prefixLen)
+	}
+	f := Frame{
+		Type:   Type(b[4]),
+		Svc:    Svc(b[5]),
+		Tenant: binary.BigEndian.Uint32(b[6:]),
+		Seq:    binary.BigEndian.Uint64(b[10:]),
+	}
+	if n > headerLen {
+		f.Payload = b[prefixLen+headerLen : prefixLen+n]
+	}
+	return f, prefixLen + int(n), nil
+}
+
+// Writer serializes frames onto an io.Writer. Not safe for concurrent use;
+// callers serialize with their own lock.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write encodes f. The frame is buffered; call Flush to push it to the
+// connection.
+func (fw *Writer) Write(f Frame) error {
+	fw.buf = Append(fw.buf[:0], f)
+	_, err := fw.w.Write(fw.buf)
+	return err
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (fw *Writer) Flush() error { return fw.w.Flush() }
+
+// Reader decodes frames from an io.Reader. The payload cap is enforced
+// before the payload is read, so a corrupt length prefix fails fast instead
+// of allocating. Frames returned by Next share one internal buffer: each
+// call invalidates the previous frame's payload.
+type Reader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader wraps r with the given payload cap (<= 0 selects
+// DefaultMaxPayload).
+func NewReader(r io.Reader, maxPayload int) *Reader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16), max: maxPayload}
+}
+
+// Peek blocks until at least one byte is available without consuming it,
+// returning any underlying read error verbatim (io.EOF, net timeouts).
+// Servers poll with a short read deadline here — a deadline that expires
+// during Peek leaves the stream intact, unlike one expiring inside Next,
+// which would strand a half-read frame.
+func (fr *Reader) Peek() error {
+	_, err := fr.r.Peek(1)
+	return err
+}
+
+// Next reads one frame. io.EOF is returned verbatim at a clean frame
+// boundary; a partial frame returns an ErrFrame-wrapped error.
+func (fr *Reader) Next() (Frame, error) {
+	var pfx [prefixLen + headerLen]byte
+	if _, err := io.ReadFull(fr.r, pfx[:prefixLen]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: truncated length prefix: %v", ErrFrame, err)
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("%w: declared length %d below header size", ErrFrame, n)
+	}
+	if int64(n)-headerLen > int64(fr.max) {
+		return Frame{}, fmt.Errorf("%w: payload %d exceeds cap %d", ErrTooLarge, n-headerLen, fr.max)
+	}
+	if _, err := io.ReadFull(fr.r, pfx[prefixLen:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: truncated header: %v", ErrFrame, err)
+	}
+	f := Frame{
+		Type:   Type(pfx[4]),
+		Svc:    Svc(pfx[5]),
+		Tenant: binary.BigEndian.Uint32(pfx[6:]),
+		Seq:    binary.BigEndian.Uint64(pfx[10:]),
+	}
+	if pl := int(n) - headerLen; pl > 0 {
+		if cap(fr.buf) < pl {
+			fr.buf = make([]byte, pl)
+		}
+		fr.buf = fr.buf[:pl]
+		if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+			return Frame{}, fmt.Errorf("%w: truncated payload: %v", ErrFrame, err)
+		}
+		f.Payload = fr.buf
+	}
+	return f, nil
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TData, Svc: SvcDedup, Tenant: 7, Seq: 42, Payload: []byte("hello stream")},
+		{Type: TFlush, Svc: SvcDedup, Tenant: 0, Seq: 0},
+		{Type: TEnd},
+		{Type: TResult, Svc: SvcMandel, Tenant: 0xFFFFFFFF, Seq: 1<<64 - 1, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Type: TReject, Svc: SvcDedup, Tenant: 3, Seq: 9},
+		{Type: TError, Payload: []byte("boom")},
+	}
+	for _, f := range frames {
+		enc := Append(nil, f)
+		if len(enc) != EncodedLen(f) {
+			t.Errorf("%v: encoded %d bytes, EncodedLen says %d", f.Type, len(enc), EncodedLen(f))
+		}
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f.Type, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%v: consumed %d of %d", f.Type, n, len(enc))
+		}
+		if got.Type != f.Type || got.Svc != f.Svc || got.Tenant != f.Tenant || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("%v: round-trip mismatch: got %+v", f.Type, got)
+		}
+	}
+}
+
+func TestDecodeConcatenated(t *testing.T) {
+	a := Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 1, Payload: []byte("first")}
+	b := Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 2, Payload: []byte("second")}
+	buf := Append(Append(nil, a), b)
+	got1, n1, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, n2, err := Decode(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) {
+		t.Errorf("consumed %d+%d of %d", n1, n2, len(buf))
+	}
+	if string(got1.Payload) != "first" || string(got2.Payload) != "second" {
+		t.Errorf("payloads %q, %q", got1.Payload, got2.Payload)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short prefix":     {0, 0},
+		"header only":      {0, 0, 0, 0},
+		"length below min": append([]byte{0, 0, 0, 5}, make([]byte, headerLen)...),
+		"length past end":  append([]byte{0, 0, 1, 0}, make([]byte, headerLen)...),
+	}
+	for name, b := range cases {
+		if _, _, err := Decode(b); !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", name, err)
+		}
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewWriter(&buf)
+	want := []Frame{
+		{Type: TData, Svc: SvcDedup, Tenant: 2, Seq: 0, Payload: []byte("abc")},
+		{Type: TData, Svc: SvcDedup, Tenant: 2, Seq: 1, Payload: bytes.Repeat([]byte("x"), 1000)},
+		{Type: TEnd},
+	}
+	for _, f := range want {
+		if err := fw.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewReader(&buf, 0)
+	for i, f := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != f.Type || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("frame %d: got %+v", i, got)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderPayloadCap(t *testing.T) {
+	enc := Append(nil, Frame{Type: TData, Payload: make([]byte, 100)})
+	fr := NewReader(bytes.NewReader(enc), 99)
+	if _, err := fr.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	enc := Append(nil, Frame{Type: TData, Payload: []byte("payload")})
+	for cut := 1; cut < len(enc); cut++ {
+		fr := NewReader(bytes.NewReader(enc[:cut]), 0)
+		_, err := fr.Next()
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("cut at %d: err = %v, want ErrFrame-wrapped", cut, err)
+		}
+	}
+}
+
+// TestReaderHostileLengthNoAlloc: a declared length far past the cap must be
+// rejected before any payload-sized allocation happens.
+func TestReaderHostileLengthNoAlloc(t *testing.T) {
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	fr := NewReader(bytes.NewReader(hostile), 1<<20)
+	allocs := testing.AllocsPerRun(10, func() {
+		fr2 := *fr
+		fr2.r.Reset(bytes.NewReader(hostile))
+		fr2.Next()
+	})
+	// The error path formats a message (a couple of small allocations); the
+	// point is that nothing payload-sized is allocated.
+	if allocs > 10 {
+		t.Errorf("hostile length allocated %v objects per run", allocs)
+	}
+}

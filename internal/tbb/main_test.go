@@ -1,0 +1,11 @@
+package tbb
+
+import (
+	"testing"
+
+	"streamgpu/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks scheduler or worker
+// goroutines.
+func TestMain(m *testing.M) { testutil.Main(m) }

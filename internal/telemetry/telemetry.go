@@ -116,11 +116,13 @@ func labelKey(labels Labels) string {
 	return b.String()
 }
 
-// lookup returns the series for (name, labels) under kind, creating family
-// and series as needed. Registering an existing name with a different kind
-// is a programming error and panics (the metriclabel analyzer catches the
-// static cases).
-func (r *Registry) lookup(kind Kind, name string, labels Labels) *series {
+// lookup returns the series for (name, labels) under kind, creating family,
+// series, and instrument as needed — all under the registry lock, so two
+// goroutines racing to first-use the same series get the same instrument
+// (buckets only matters for histograms). Registering an existing name with
+// a different kind is a programming error and panics (the metriclabel
+// analyzer catches the static cases).
+func (r *Registry) lookup(kind Kind, name string, labels Labels, buckets []float64) *series {
 	if name == "" {
 		panic("telemetry: empty metric name")
 	}
@@ -145,6 +147,20 @@ func (r *Registry) lookup(kind Kind, name string, labels Labels) *series {
 		s = &series{labels: cp, key: key}
 		fam.series[key] = s
 	}
+	switch kind {
+	case KindCounter:
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+	case KindGauge:
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+	case KindHistogram:
+		if s.hist == nil {
+			s.hist = newHistogram(buckets)
+		}
+	}
 	return s
 }
 
@@ -154,11 +170,7 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(KindCounter, name, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.lookup(KindCounter, name, labels, nil).counter
 }
 
 // Gauge returns the gauge registered under (name, labels), creating it on
@@ -167,11 +179,7 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(KindGauge, name, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.lookup(KindGauge, name, labels, nil).gauge
 }
 
 // GaugeFunc registers a callback gauge: fn is invoked at snapshot time.
@@ -194,11 +202,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels Labels) *His
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(KindHistogram, name, labels)
-	if s.hist == nil {
-		s.hist = newHistogram(buckets)
-	}
-	return s.hist
+	return r.lookup(KindHistogram, name, labels, buckets).hist
 }
 
 // Snapshot captures every metric at one instant, sorted by family name and

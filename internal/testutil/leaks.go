@@ -1,0 +1,156 @@
+// Package testutil holds shared test infrastructure. Its centerpiece is the
+// goroutine-leak checker: the streaming runtimes in this repo live on
+// carefully joined goroutines (ff nodes, SPSC consumers, session readers,
+// linger timers), and a leaked one is a bug even when no test assertion
+// notices — it means a pipeline did not actually drain. CheckLeaks snapshots
+// the goroutines a test leaves behind; Main does the same for a whole
+// package.
+package testutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStack reports whether one goroutine's stack belongs to test
+// machinery or the runtime itself rather than code under test.
+func ignoredStack(stack string) bool {
+	for _, frame := range []string{
+		"testing.RunTests",
+		"testing.Main(",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.(*F).",
+		"testing.runFuzzing",
+		"testing.runFuzzTests",
+		"testing.tRunner",
+		"testing.fRunner",
+		"runtime.goexit",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime/pprof.",
+		"testing.(*testContext)",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	// The goroutine running the check itself.
+	if strings.Contains(stack, "testutil.stacks") {
+		return true
+	}
+	return false
+}
+
+// stacks returns the stacks of all live goroutines that are not test
+// machinery, one entry per goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || ignoredStack(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// leaked polls until no unexpected goroutines remain or the deadline
+// passes, returning the survivors. Polling absorbs legitimate teardown
+// races: a pipeline's last worker may still be between its final item and
+// its return when the test body finishes.
+func leaked(baseline map[string]int, deadline time.Duration) []string {
+	var last []string
+	for end := time.Now().Add(deadline); ; {
+		last = last[:0]
+		for _, g := range stacks() {
+			key := stackKey(g)
+			if baseline[key] > 0 {
+				baseline[key]--
+				continue
+			}
+			last = append(last, g)
+		}
+		if len(last) == 0 || time.Now().After(end) {
+			return last
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stackKey reduces a goroutine stack to its creation site + top function,
+// which identifies "the same goroutine" across snapshots without being
+// sensitive to line-level scheduling state.
+func stackKey(stack string) string {
+	lines := strings.Split(stack, "\n")
+	top, created := "", ""
+	if len(lines) > 1 {
+		top = lines[1]
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "created by ") {
+			created = l
+			break
+		}
+	}
+	return top + "|" + created
+}
+
+// inFuzzWorker reports whether this process is a fuzzing worker; leak
+// checking there produces false positives from the fuzz coordinator's
+// plumbing.
+func inFuzzWorker() bool {
+	f := flag.Lookup("test.fuzz")
+	return f != nil && f.Value.String() != ""
+}
+
+// CheckLeaks registers a cleanup that fails t if the test leaves goroutines
+// behind that were not running when CheckLeaks was called.
+func CheckLeaks(t *testing.T) {
+	t.Helper()
+	if inFuzzWorker() {
+		return
+	}
+	baseline := make(map[string]int)
+	for _, g := range stacks() {
+		baseline[stackKey(g)]++
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack a leak report on top of a real failure
+		}
+		if rest := leaked(baseline, 5*time.Second); len(rest) > 0 {
+			t.Errorf("leaked %d goroutine(s):\n%s", len(rest), strings.Join(rest, "\n\n"))
+		}
+	})
+}
+
+// Main wraps a package's TestMain: it runs the tests, then fails the
+// process if any non-test goroutines survive the whole run. Use it as
+//
+//	func TestMain(m *testing.M) { testutil.Main(m) }
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 && !inFuzzWorker() {
+		if rest := leaked(map[string]int{}, 5*time.Second); len(rest) > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: package leaked %d goroutine(s):\n%s\n",
+				len(rest), strings.Join(rest, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

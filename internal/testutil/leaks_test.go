@@ -1,0 +1,47 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+func TestCheckLeaksCleanTest(t *testing.T) {
+	CheckLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestCheckLeaksToleratesSlowExit(t *testing.T) {
+	CheckLeaks(t)
+	// A goroutine still draining when the test body returns must be absorbed
+	// by the checker's polling window rather than reported.
+	go func() { time.Sleep(50 * time.Millisecond) }()
+}
+
+func TestLeakedDetects(t *testing.T) {
+	baseline := make(map[string]int)
+	for _, g := range stacks() {
+		baseline[stackKey(g)]++
+	}
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	rest := leaked(copyCounts(baseline), 100*time.Millisecond)
+	if len(rest) != 1 {
+		t.Errorf("leaked reported %d goroutines, want 1", len(rest))
+	}
+	close(stop)
+	if rest := leaked(copyCounts(baseline), 2*time.Second); len(rest) != 0 {
+		t.Errorf("after stop, leaked still reports %d goroutines", len(rest))
+	}
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
