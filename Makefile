@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race fuzz bench-json bench-gate verify
+.PHONY: build vet lint test race chaos fuzz bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ test:
 # new concurrency never lands unchecked.
 race:
 	$(GO) test -race ./...
+
+# chaos runs the overload/failure-injection scenarios (internal/testutil/chaos)
+# under the race detector at full depth: hog-vs-small tenant isolation SLOs,
+# mid-stream device quarantine and re-admission, and abrupt connection drops,
+# all with archive verification and goroutine-leak checks. CI runs the same
+# package with -short; run this target before touching admission, QoS, or
+# health code.
+chaos:
+	$(GO) test -race -count=1 ./internal/testutil/chaos
 
 # fuzz gives each fuzz target a short randomized run on top of the committed
 # seed corpora (testdata/fuzz): the wire codec's decoders and the archive
@@ -55,4 +64,4 @@ bench-gate:
 # bench-gate job is separate on purpose: benchmark numbers want a quiet
 # machine, so run `make bench-gate` deliberately, not as part of every
 # verify.
-verify: build vet lint test race
+verify: build vet lint test race chaos

@@ -31,6 +31,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "payload RNG seed")
 	verify := flag.Bool("verify", false, "restore every archive / recompute every row and compare")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "per-client dial timeout")
+	deadline := flag.Duration("deadline", 0, "per-request deadline shipped on the wire (0 = none)")
+	retries := flag.Int("retries", 0, "re-offers per rejected request, honoring retry-after hints")
+	backoffCap := flag.Duration("backoff-cap", time.Second, "max sleep before one retry")
+	firstTenant := flag.Uint("first-tenant", 0, "offset for the tenant ID range")
 	flag.Parse()
 
 	var svc wire.Svc
@@ -55,9 +59,13 @@ func main() {
 		Dim:         *dim,
 		Niter:       *niter,
 		RowsPerReq:  *rows,
+		FirstTenant: uint32(*firstTenant),
 		Seed:        *seed,
 		Verify:      *verify,
 		DialTimeout: *dialTimeout,
+		Deadline:    *deadline,
+		Retries:     *retries,
+		BackoffCap:  *backoffCap,
 	})
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -5,6 +5,8 @@
 //
 //	streamd -addr :7070 -metrics-addr :7071 -max-inflight 128
 //	streamd -addr :7070 -gpu -fault-kernel 0.01     # GPU path with faults
+//	streamd -tenant-weights default:4,9:1:2.5e5 -default-deadline 100ms
+//	streamd -gpu -gpus 4 -quarantine-threshold 0.5  # health-aware device pool
 package main
 
 import (
@@ -20,7 +22,9 @@ import (
 
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/health"
 	"streamgpu/internal/server"
+	"streamgpu/internal/server/qos"
 	"streamgpu/internal/telemetry"
 )
 
@@ -37,7 +41,14 @@ func main() {
 	faultTransfer := flag.Float64("fault-transfer", 0, "gpu: transient transfer fault rate")
 	faultKernel := flag.Float64("fault-kernel", 0, "gpu: transient kernel fault rate")
 	faultKill := flag.Int("fault-kill-after", 0, "gpu: kill the device after N operations")
+	tenantWeights := flag.String("tenant-weights", "", "per-tenant QoS table: tenant:weight[:rate[:burst]],... (tenant may be 'default')")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none on the wire (0 = off)")
+	gpus := flag.Int("gpus", 1, "gpu: simulated device pool size")
+	quarThreshold := flag.Float64("quarantine-threshold", 0, "gpu: fault rate over the health window that quarantines a device (0 = default 0.5)")
 	flag.Parse()
+
+	table, err := qos.ParseTable(*tenantWeights)
+	check(err)
 
 	metrics := telemetry.New()
 	if *metricsAddr != "" {
@@ -59,7 +70,11 @@ func main() {
 			KernelRate:   *faultKernel,
 			KillAfterOps: *faultKill,
 		},
-		Metrics: metrics,
+		Metrics:         metrics,
+		QoS:             table,
+		DefaultDeadline: *defaultDeadline,
+		Devices:         *gpus,
+		Health:          health.Config{Threshold: *quarThreshold},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -10,6 +10,8 @@
 //	metriclabel  telemetry metric registrations must use non-empty,
 //	           kind-consistent names and one call site per series
 //	poolrelease  pool.Get values must be released or escape
+//	deadlinecheck  qos.Sched.Enqueue callers must consult the request
+//	           deadline or document the exemption
 //
 // Usage:
 //
@@ -25,6 +27,7 @@ import (
 	"os"
 
 	"streamgpu/internal/analysis"
+	"streamgpu/internal/analysis/deadlinecheck"
 	"streamgpu/internal/analysis/faultseed"
 	"streamgpu/internal/analysis/gpufree"
 	"streamgpu/internal/analysis/gpuwait"
@@ -36,6 +39,7 @@ import (
 
 // suite is every analyzer streamvet runs, in diagnostic-name order.
 var suite = []*analysis.Analyzer{
+	deadlinecheck.Analyzer,
 	faultseed.Analyzer,
 	gpufree.Analyzer,
 	gpuwait.Analyzer,

@@ -1,0 +1,12 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/deadlinecheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, deadlinecheck.Analyzer, "testdata/flagged", "testdata/clean")
+}

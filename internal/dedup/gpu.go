@@ -7,6 +7,7 @@ import (
 	"streamgpu/internal/des"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/gpu"
+	"streamgpu/internal/health"
 	"streamgpu/internal/lzss"
 	"streamgpu/internal/sha1x"
 )
@@ -19,6 +20,33 @@ type GPUOptions struct {
 	MaxRetries int
 	// Faults is the device's injector config; the zero value runs fault-free.
 	Faults fault.Config
+	// Devices is the simulated device pool size for the serving path's
+	// Processor: batches are spread across devices by sequence number
+	// (default 1). CompressGPU ignores it — a one-shot run owns one device.
+	Devices int
+	// FaultsFor, when set, overrides Faults per device on the serving path —
+	// the chaos harness's hook for degrading one device mid-stream. Called
+	// once per batch with the batch's device index.
+	FaultsFor func(dev int) fault.Config
+	// Health, when set, routes each serving-path batch through the
+	// per-device scoreboard: batches of a quarantined device run on the CPU
+	// fallback (except probes), and every device-run outcome is recorded.
+	Health *health.Scoreboard
+}
+
+func (o GPUOptions) devices() int {
+	if o.Devices <= 0 {
+		return 1
+	}
+	return o.Devices
+}
+
+// faultsFor resolves the injector config for one device.
+func (o GPUOptions) faultsFor(dev int) fault.Config {
+	if o.FaultsFor != nil {
+		return o.FaultsFor(dev)
+	}
+	return o.Faults
 }
 
 func (o GPUOptions) maxRetries() int {
@@ -36,6 +64,7 @@ type GPUReport struct {
 	GPUCompress int // batches match-scanned on the device
 	CPUHash     int // batches whose hashing degraded to the CPU
 	CPUCompress int // batches whose compression degraded to the CPU
+	Rerouted    int // batches rerouted to the CPU by device quarantine
 	DeviceLost  bool
 }
 

@@ -4,6 +4,7 @@ import (
 	"streamgpu/internal/des"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/gpu"
+	"streamgpu/internal/health"
 	"streamgpu/internal/lzss"
 	"streamgpu/internal/rabin"
 )
@@ -75,27 +76,59 @@ func (p *Processor) Report() GPUReport { return p.rep }
 
 // Process prepares b in place: hash every block, consult store for the
 // first-sighting hint, and compress the hinted-first blocks. It never fails;
-// the GPU path degrades to the CPU path on faults.
+// the GPU path degrades to the CPU path on faults, and a quarantined
+// device's batches are rerouted to the CPU outright.
 func (p *Processor) Process(b *Batch, store *Store) {
 	if p.gpu {
 		p.processGPU(b, store)
 		return
 	}
+	p.processCPU(b, store)
+}
+
+// processCPU is the reference path: always correct, never consulted by the
+// health scoreboard.
+func (p *Processor) processCPU(b *Batch, store *Store) {
 	b.HashBlocks()
 	b.markFirsts(store)
 	b.compressFirsts(p.m)
 }
 
+// deviceFor spreads batches across the simulated device pool by sequence
+// number, so a multi-device server exercises (and scores) every device.
+func (p *Processor) deviceFor(b *Batch) int {
+	n := p.opt.devices()
+	if n == 1 {
+		return 0
+	}
+	return int(uint(b.Seq) % uint(n))
+}
+
 // processGPU runs the batch's kernels on a private simulated device. Unlike
 // CompressGPU, which owns one device for a whole run, the serving path spins
 // one simulation per batch — device loss therefore costs one batch (degraded
-// to the CPU), not the rest of the stream.
+// to the CPU), not the rest of the stream. When a health scoreboard is
+// configured, the batch's device is consulted first: a quarantined device
+// gets only probe batches, everything else reroutes to the CPU, and each
+// device-run outcome (clean, or any fault the recovery ladder absorbed)
+// feeds back into the scoreboard.
 func (p *Processor) processGPU(b *Batch, store *Store) {
+	devIdx := p.deviceFor(b)
+	route := health.Route{Device: true}
+	if p.opt.Health != nil {
+		route = p.opt.Health.Route(devIdx)
+	}
+	if !route.Device {
+		p.processCPU(b, store)
+		p.rep.Rerouted++
+		return
+	}
+
+	before := p.rep
 	sim := des.New()
-	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), devIdx)
 	dev.SetTelemetry(p.opt.Metrics)
-	if p.opt.Faults != (fault.Config{}) {
-		fc := p.opt.Faults
+	if fc := p.opt.faultsFor(devIdx); fc != (fault.Config{}) {
 		// Decorrelate batches while keeping each schedule reproducible.
 		fc.Seed ^= int64(uint64(b.Seq+1) * 0x9e3779b97f4a7c15)
 		dev.SetFaultInjector(fault.New(fc))
@@ -111,10 +144,21 @@ func (p *Processor) processGPU(b *Batch, store *Store) {
 		// Simulation-level failure: recompute the whole batch on the CPU.
 		// The stage bodies are idempotent, so redoing work a partially
 		// successful simulation already did is safe.
-		b.HashBlocks()
-		b.markFirsts(store)
-		b.compressFirsts(p.m)
+		p.processCPU(b, store)
 		p.rep.CPUHash++
 		p.rep.CPUCompress++
+	}
+	if dev.Lost() {
+		p.rep.DeviceLost = true
+	}
+	if p.opt.Health != nil {
+		// Any fault-injector activity this batch — an absorbed retry, a
+		// stage degraded to the CPU, or device loss — counts against the
+		// device's scoreboard.
+		faulted := p.rep.Retries != before.Retries ||
+			p.rep.CPUHash != before.CPUHash ||
+			p.rep.CPUCompress != before.CPUCompress ||
+			dev.Lost()
+		p.opt.Health.Record(devIdx, route, faulted)
 	}
 }

@@ -1,0 +1,291 @@
+// Package health is the per-device fault-rate scoreboard behind the serving
+// layer's graceful degradation: it watches the outcome of every batch routed
+// to a simulated GPU, quarantines a device whose recent fault rate trips a
+// threshold, reroutes the quarantined device's work to the CPU fallback
+// paths (which the dedup and mandel fault-tolerance layers already prove
+// bit-identical), and re-admits the device after a run of clean probe
+// batches.
+//
+// This is the CrystalGPU lesson applied to the serving stack: a degraded
+// accelerator should cost throughput, not correctness or availability, and
+// the routing decision should be automatic and reversible. The window is
+// op-counted rather than wall-clocked so quarantine decisions are a pure
+// function of the outcome sequence — deterministic under the chaos harness's
+// seeded fault schedules.
+//
+// All methods are safe for concurrent use: every pipeline worker replica
+// consults one shared Scoreboard.
+package health
+
+import "sync"
+
+// Config sizes a Scoreboard. The zero value tracks one device with the
+// documented defaults.
+type Config struct {
+	// Devices is the number of devices tracked (default 1).
+	Devices int
+	// Window is the sliding window of recent per-device batch outcomes the
+	// fault rate is computed over (default 32).
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before the
+	// rate can trip quarantine — a single early fault must not condemn a
+	// device (default 8).
+	MinSamples int
+	// Threshold is the windowed fault rate at or above which a device is
+	// quarantined (default 0.5).
+	Threshold float64
+	// ProbeEvery routes every Nth batch of a quarantined device to the
+	// device anyway as a health probe; the rest go to the CPU (default 8).
+	ProbeEvery int
+	// ReadmitAfter is the number of consecutive clean probes that re-admit
+	// a quarantined device (default 3).
+	ReadmitAfter int
+	// OnTransition, when set, is called (outside the scoreboard lock) after
+	// a device is quarantined or re-admitted — the server's metrics hook.
+	OnTransition func(dev int, quarantined bool)
+}
+
+func (c Config) devices() int {
+	if c.Devices <= 0 {
+		return 1
+	}
+	return c.Devices
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return 32
+	}
+	return c.Window
+}
+
+func (c Config) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 8
+	}
+	if c.MinSamples > c.window() {
+		return c.window()
+	}
+	return c.MinSamples
+}
+
+func (c Config) threshold() float64 {
+	if c.Threshold <= 0 {
+		return 0.5
+	}
+	return c.Threshold
+}
+
+func (c Config) probeEvery() int {
+	if c.ProbeEvery <= 0 {
+		return 8
+	}
+	return c.ProbeEvery
+}
+
+func (c Config) readmitAfter() int {
+	if c.ReadmitAfter <= 0 {
+		return 3
+	}
+	return c.ReadmitAfter
+}
+
+// Route is the scoreboard's verdict for one batch.
+type Route struct {
+	// Device: run the batch on its device. False reroutes it to the CPU
+	// fallback path.
+	Device bool
+	// Probe marks a device-routed batch from a quarantined device — its
+	// outcome feeds the re-admission streak instead of the fault window.
+	Probe bool
+}
+
+// device is one device's tracked state.
+type device struct {
+	outcomes []bool // ring buffer of recent outcomes, true = fault
+	next     int    // ring write index
+	filled   int    // live entries in the ring
+	faults   int    // faults among live entries
+
+	quarantined bool
+	skips       int // batches rerouted since the last probe
+	cleanProbes int // consecutive clean probes while quarantined
+
+	totalOps    uint64
+	totalFaults uint64
+	quarantines uint64
+	readmits    uint64
+}
+
+// faultRate is the windowed fault rate; zero until the window has entries.
+func (d *device) faultRate() float64 {
+	if d.filled == 0 {
+		return 0
+	}
+	return float64(d.faults) / float64(d.filled)
+}
+
+// record pushes one outcome into the sliding window.
+func (d *device) record(faulted bool) {
+	if d.filled == len(d.outcomes) {
+		if d.outcomes[d.next] {
+			d.faults--
+		}
+	} else {
+		d.filled++
+	}
+	d.outcomes[d.next] = faulted
+	if faulted {
+		d.faults++
+	}
+	d.next = (d.next + 1) % len(d.outcomes)
+}
+
+// reset clears the sliding window (after re-admission the device starts with
+// a clean slate — its pre-quarantine history must not re-trip it instantly).
+func (d *device) reset() {
+	for i := range d.outcomes {
+		d.outcomes[i] = false
+	}
+	d.next, d.filled, d.faults = 0, 0, 0
+}
+
+// Scoreboard tracks per-device fault rates and quarantine state.
+type Scoreboard struct {
+	cfg  Config
+	mu   sync.Mutex
+	devs []*device
+}
+
+// New builds a scoreboard from cfg.
+func New(cfg Config) *Scoreboard {
+	s := &Scoreboard{cfg: cfg, devs: make([]*device, cfg.devices())}
+	for i := range s.devs {
+		s.devs[i] = &device{outcomes: make([]bool, cfg.window())}
+	}
+	return s
+}
+
+// Devices returns the tracked device count.
+func (s *Scoreboard) Devices() int { return len(s.devs) }
+
+// dev clamps an out-of-range index to device 0 rather than panicking — the
+// router's modulo should make this unreachable, but a scoreboard must never
+// take the serving path down.
+func (s *Scoreboard) dev(i int) *device {
+	if i < 0 || i >= len(s.devs) {
+		return s.devs[0]
+	}
+	return s.devs[i]
+}
+
+// Route decides where device i's next batch runs: healthy devices take
+// everything; quarantined devices take only every ProbeEvery-th batch, as a
+// probe.
+func (s *Scoreboard) Route(i int) Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dev(i)
+	if !d.quarantined {
+		return Route{Device: true}
+	}
+	d.skips++
+	if d.skips >= s.cfg.probeEvery() {
+		d.skips = 0
+		return Route{Device: true, Probe: true}
+	}
+	return Route{}
+}
+
+// Record feeds the outcome of a device-routed batch back (r as returned by
+// Route; rerouted batches are not recorded — the CPU path says nothing about
+// the device). faulted marks any fault-injector-surfaced error during the
+// batch: an absorbed retry, a stage degraded to the CPU, or device loss.
+func (s *Scoreboard) Record(i int, r Route, faulted bool) {
+	if !r.Device {
+		return
+	}
+	var fire func(int, bool)
+	var dev int
+	s.mu.Lock()
+	d := s.dev(i)
+	d.totalOps++
+	if faulted {
+		d.totalFaults++
+	}
+	switch {
+	case d.quarantined && r.Probe:
+		if faulted {
+			d.cleanProbes = 0
+		} else {
+			d.cleanProbes++
+			if d.cleanProbes >= s.cfg.readmitAfter() {
+				d.quarantined = false
+				d.readmits++
+				d.reset()
+				fire, dev = s.cfg.OnTransition, i
+			}
+		}
+	case !d.quarantined:
+		d.record(faulted)
+		if d.filled >= s.cfg.minSamples() && d.faultRate() >= s.cfg.threshold() {
+			d.quarantined = true
+			d.quarantines++
+			d.cleanProbes = 0
+			d.skips = 0
+			fire, dev = s.cfg.OnTransition, i
+		}
+	}
+	quarantined := d.quarantined
+	s.mu.Unlock()
+	if fire != nil {
+		fire(dev, quarantined)
+	}
+}
+
+// Quarantined reports device i's current state.
+func (s *Scoreboard) Quarantined(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev(i).quarantined
+}
+
+// QuarantinedCount returns how many devices are currently quarantined — the
+// serving layer's degradation gauge.
+func (s *Scoreboard) QuarantinedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, d := range s.devs {
+		if d.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// DeviceStats is one device's lifetime counters.
+type DeviceStats struct {
+	Quarantined bool
+	Ops         uint64 // device-routed batches (including probes)
+	Faults      uint64 // of which faulted
+	Quarantines uint64 // times the device was quarantined
+	Readmits    uint64 // times it was re-admitted
+}
+
+// Snapshot returns per-device lifetime counters, indexed by device.
+func (s *Scoreboard) Snapshot() []DeviceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceStats, len(s.devs))
+	for i, d := range s.devs {
+		out[i] = DeviceStats{
+			Quarantined: d.quarantined,
+			Ops:         d.totalOps,
+			Faults:      d.totalFaults,
+			Quarantines: d.quarantines,
+			Readmits:    d.readmits,
+		}
+	}
+	return out
+}

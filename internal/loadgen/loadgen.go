@@ -50,8 +50,22 @@ type Config struct {
 	MinBytes, MaxBytes int
 	// Dim/Niter/RowsPerReq shape mandel requests (defaults 256/256/16).
 	Dim, Niter, RowsPerReq int
+	// FirstTenant offsets the tenant IDs clients spread across — scenario
+	// runs (a hog fleet and a small fleet against one server) use disjoint
+	// ranges so per-tenant verdicts can be attributed.
+	FirstTenant uint32
 	// Seed makes the run reproducible (payload sizes and contents).
 	Seed int64
+	// Deadline, when positive, rides every request as its wire deadline: the
+	// server fast-fails the request when its estimated queue wait exceeds
+	// it. Rejections for this reason count as deadline misses, not retries.
+	Deadline time.Duration
+	// Retries is how many times a rejected request is re-offered before it
+	// counts as rejected. Each retry honors the server's retry-after hint
+	// under capped exponential backoff with jitter. 0 disables retries.
+	Retries int
+	// BackoffCap bounds one retry's sleep, hint included (default 1s).
+	BackoffCap time.Duration
 	// Verify restores every session's archive (or recomputes every row
 	// range) and counts mismatches.
 	Verify bool
@@ -128,23 +142,37 @@ func (c Config) dialTimeout() time.Duration {
 	return c.DialTimeout
 }
 
+func (c Config) backoffCap() time.Duration {
+	if c.BackoffCap <= 0 {
+		return time.Second
+	}
+	return c.BackoffCap
+}
+
 // Report is the run summary. It embeds the benchdiff-comparable fields
 // (schema, calibration, results) and adds serving detail; latency entries
 // appear in Results as inverse rates (1/seconds) so benchdiff's
 // lower-is-a-regression rule applies to them with the right sign.
 type Report struct {
 	bench.HostReport
-	Service    string  `json:"service"`
-	Clients    int     `json:"clients"`
-	Requests   int     `json:"requests_per_client"`
-	Accepted   int64   `json:"accepted"`
-	Rejected   int64   `json:"rejected"`
-	SentBytes  int64   `json:"sent_bytes"`
-	RecvBytes  int64   `json:"recv_bytes"`
-	Seconds    float64 `json:"seconds"`
-	LatencyP50 float64 `json:"latency_p50_seconds"`
-	LatencyP90 float64 `json:"latency_p90_seconds"`
-	LatencyP99 float64 `json:"latency_p99_seconds"`
+	Service  string `json:"service"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests_per_client"`
+	Accepted int64  `json:"accepted"`
+	Rejected int64  `json:"rejected"`
+	// Retries counts re-offers of rejected requests (each honoring the
+	// server's retry-after hint); Throttled counts tenant-throttled verdicts
+	// observed, retried or not; DeadlineMisses counts requests fast-failed
+	// for their deadline (never retried — a late answer is still late).
+	Retries        int64   `json:"retries"`
+	Throttled      int64   `json:"throttled"`
+	DeadlineMisses int64   `json:"deadline_misses"`
+	SentBytes      int64   `json:"sent_bytes"`
+	RecvBytes      int64   `json:"recv_bytes"`
+	Seconds        float64 `json:"seconds"`
+	LatencyP50     float64 `json:"latency_p50_seconds"`
+	LatencyP90     float64 `json:"latency_p90_seconds"`
+	LatencyP99     float64 `json:"latency_p99_seconds"`
 	// RestoreFailures counts sessions whose restored archive (dedup) or
 	// recomputed rows (mandel) did not match what was sent. Zero is the
 	// soak-test invariant.
@@ -155,6 +183,8 @@ type Report struct {
 // clientResult is one client's tally.
 type clientResult struct {
 	accepted, rejected int64
+	retries, throttled int64
+	deadlineMisses     int64
 	sent, recv         int64
 	lats               []float64
 	restoreFailed      bool
@@ -202,6 +232,9 @@ func Run(cfg Config) (Report, error) {
 		r := &results[i]
 		rep.Accepted += r.accepted
 		rep.Rejected += r.rejected
+		rep.Retries += r.retries
+		rep.Throttled += r.throttled
+		rep.DeadlineMisses += r.deadlineMisses
 		rep.SentBytes += r.sent
 		rep.RecvBytes += r.recv
 		lats = append(lats, r.lats...)
@@ -258,7 +291,7 @@ func runClient(cfg Config, id int, corpus []byte) clientResult {
 	// client-side payload cap is generous.
 	fr := wire.NewReader(conn, 8<<20)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*1543))
-	tenant := uint32(id % cfg.tenants())
+	tenant := cfg.FirstTenant + uint32(id%cfg.tenants())
 
 	switch cfg.service() {
 	case wire.SvcMandel:
@@ -301,6 +334,54 @@ func awaitVerdict(fr *wire.Reader, seq uint64) (wire.Frame, error) {
 	}
 }
 
+// offer sends one request and awaits its verdict, re-offering rejected
+// requests up to cfg.Retries times. Each retry sleeps for the server's
+// retry-after hint — or, when the hint is zero, an exponentially growing
+// base — capped by cfg.BackoffCap, with up to 25% added jitter so a fleet of
+// synchronized rejects does not retry as a thundering herd. Deadline rejects
+// are terminal: retrying cannot un-miss a latency budget. offer reports
+// whether the request was ultimately accepted; the frame is the accepting
+// TResult when it was.
+func offer(cfg Config, rng *rand.Rand, fw *wire.Writer, fr *wire.Reader, f wire.Frame, res *clientResult) (wire.Frame, bool, error) {
+	const backoffBase = 2 * time.Millisecond
+	f.Deadline = cfg.Deadline
+	for attempt := 0; ; attempt++ {
+		if err := sendFrame(fw, f); err != nil {
+			return wire.Frame{}, false, fmt.Errorf("send request %d: %w", f.Seq, err)
+		}
+		res.sent += int64(len(f.Payload))
+		v, err := awaitVerdict(fr, f.Seq)
+		if err != nil {
+			return wire.Frame{}, false, err
+		}
+		if v.Type == wire.TResult {
+			return v, true, nil
+		}
+		reason, hint := wire.ParseRejectInfo(v.Payload)
+		switch reason {
+		case wire.ReasonDeadline:
+			res.deadlineMisses++
+			return v, false, nil
+		case wire.ReasonThrottled:
+			res.throttled++
+		}
+		if attempt >= cfg.Retries {
+			res.rejected++
+			return v, false, nil
+		}
+		res.retries++
+		sleep := backoffBase << uint(attempt)
+		if hint > sleep {
+			sleep = hint
+		}
+		if limit := cfg.backoffCap(); sleep > limit {
+			sleep = limit
+		}
+		sleep += time.Duration(rng.Int63n(int64(sleep)/4 + 1))
+		time.Sleep(sleep)
+	}
+}
+
 // runDedupClient streams random corpus windows and verifies the restored
 // archive against exactly the accepted payloads.
 func runDedupClient(cfg Config, rng *rand.Rand, tenant uint32, fw *wire.Writer, fr *wire.Reader, corpus []byte, res *clientResult) {
@@ -315,18 +396,13 @@ func runDedupClient(cfg Config, rng *rand.Rand, tenant uint32, fw *wire.Writer, 
 		payload := corpus[off : off+size]
 		seq := uint64(i)
 		t0 := time.Now()
-		if err := sendFrame(fw, wire.Frame{Type: wire.TData, Svc: wire.SvcDedup, Tenant: tenant, Seq: seq, Payload: payload}); err != nil {
-			res.err = fmt.Errorf("send request %d: %w", seq, err)
-			return
-		}
-		res.sent += int64(size)
-		v, err := awaitVerdict(fr, seq)
+		v, ok, err := offer(cfg, rng, fw, fr,
+			wire.Frame{Type: wire.TData, Svc: wire.SvcDedup, Tenant: tenant, Seq: seq, Payload: payload}, res)
 		if err != nil {
 			res.err = err
 			return
 		}
-		if v.Type == wire.TReject {
-			res.rejected++
+		if !ok {
 			continue
 		}
 		res.accepted++
@@ -369,18 +445,13 @@ func runMandelClient(cfg Config, rng *rand.Rand, tenant uint32, fw *wire.Writer,
 		req := MandelReqPayload(uint32(dim), uint32(niter), uint32(row0), uint32(nrows))
 		seq := uint64(i)
 		t0 := time.Now()
-		if err := sendFrame(fw, wire.Frame{Type: wire.TData, Svc: wire.SvcMandel, Tenant: tenant, Seq: seq, Payload: req}); err != nil {
-			res.err = fmt.Errorf("send request %d: %w", seq, err)
-			return
-		}
-		res.sent += int64(len(req))
-		v, err := awaitVerdict(fr, seq)
+		v, ok, err := offer(cfg, rng, fw, fr,
+			wire.Frame{Type: wire.TData, Svc: wire.SvcMandel, Tenant: tenant, Seq: seq, Payload: req}, res)
 		if err != nil {
 			res.err = err
 			return
 		}
-		if v.Type == wire.TReject {
-			res.rejected++
+		if !ok {
 			continue
 		}
 		res.accepted++

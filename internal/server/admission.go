@@ -1,0 +1,203 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"streamgpu/internal/server/qos"
+	"streamgpu/internal/server/wire"
+	"streamgpu/internal/telemetry"
+)
+
+// verdict is one admission decision.
+type verdict struct {
+	ok         bool
+	reason     wire.Reason   // set when !ok
+	retryAfter time.Duration // backoff hint shipped in the TReject payload
+}
+
+func accepted() verdict { return verdict{ok: true} }
+
+func rejected(reason wire.Reason, retryAfter time.Duration) verdict {
+	return verdict{reason: reason, retryAfter: retryAfter}
+}
+
+// tenantState is one tenant's live admission state.
+type tenantState struct {
+	spec     qos.Spec
+	bucket   *qos.Bucket
+	inflight int
+	lastSeen time.Time
+}
+
+// admission is the per-tenant gate in front of the shared window: token
+// buckets bound each tenant's sustained byte rate, and once the shared
+// window runs hot a tenant's share of it is capped in proportion to its
+// weight. The gate is deliberately work-conserving — under light load any
+// tenant may use the whole window; the weighted cap only engages above the
+// contention threshold, so fairness costs nothing when there is nothing to
+// be fair about.
+type admission struct {
+	mu      sync.Mutex
+	table   qos.Table
+	window  int
+	now     func() time.Time
+	tenants map[uint32]*tenantState
+}
+
+const (
+	// contentionNum/contentionDen: the weighted fair-share cap engages when
+	// the shared window is at least 3/4 full.
+	contentionNum = 3
+	contentionDen = 4
+	// activityWindow bounds how long a tenant stays in the fair-share
+	// denominator after its last admission attempt. Competitors must count
+	// even while they are being rejected — a hog that filled the window
+	// before a small tenant's first request would otherwise keep a
+	// full-window share forever, because the small tenant never gets
+	// inflight work to be counted by.
+	activityWindow = time.Second
+)
+
+func newAdmission(table qos.Table, window int, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{
+		table:   table,
+		window:  window,
+		now:     now,
+		tenants: make(map[uint32]*tenantState),
+	}
+}
+
+func (a *admission) state(tenant uint32) *tenantState {
+	st := a.tenants[tenant]
+	if st == nil {
+		spec := a.table.Spec(tenant)
+		st = &tenantState{spec: spec, bucket: qos.NewBucket(spec, a.now())}
+		a.tenants[tenant] = st
+	}
+	return st
+}
+
+// admit runs the per-tenant stages of the admission machine for one request
+// of the given cost (bytes of work). total is the current shared-window
+// occupancy. It runs before the shared-window overload check so that every
+// arrival — even one about to be overload-rejected — registers the tenant as
+// a competitor. On success the tenant's inflight share is charged; the
+// caller must pair it with release (after service) or cancel (when a later
+// admission stage rejects the request).
+func (a *admission) admit(tenant uint32, cost int, total int64) verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	now := a.now()
+	st.lastSeen = now
+
+	// Stage 1 — token bucket: the tenant's own sustained rate contract,
+	// enforced regardless of contention.
+	if !st.bucket.Take(cost, now) {
+		return rejected(wire.ReasonThrottled, st.bucket.Wait(cost, now))
+	}
+
+	// Stage 2 — weighted window share, only under contention: a tenant may
+	// not hold more of a hot window than its weight entitles it to against
+	// the tenants currently competing for it.
+	if int(total) >= a.window*contentionNum/contentionDen {
+		share := a.window * st.spec.Weight / a.competingWeight(now)
+		if share < 1 {
+			share = 1
+		}
+		if st.inflight >= share {
+			// The hog pays back one service time's worth of patience; its
+			// bucket tokens for this request are forfeit (the simplest
+			// accounting that still punishes oversubscription).
+			return rejected(wire.ReasonThrottled, 0)
+		}
+	}
+
+	st.inflight++
+	return accepted()
+}
+
+// competingWeight sums the weights of tenants competing for the window: those
+// holding admitted work plus those that knocked within activityWindow. The
+// caller holds a.mu.
+func (a *admission) competingWeight(now time.Time) int {
+	aw := 0
+	for _, st := range a.tenants {
+		if st.inflight > 0 || now.Sub(st.lastSeen) <= activityWindow {
+			aw += st.spec.Weight
+		}
+	}
+	if aw < 1 {
+		aw = 1
+	}
+	return aw
+}
+
+// release returns one admitted request's window share.
+func (a *admission) release(tenant uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.tenants[tenant]
+	if st == nil || st.inflight == 0 {
+		return
+	}
+	st.inflight--
+}
+
+// cancel undoes an admit whose request then failed a later admission stage
+// (shared-window overload, deadline): the window share comes back and the
+// bucket tokens are refunded — the tenant never got service, so it should not
+// pay rate budget for the attempt.
+func (a *admission) cancel(tenant uint32, cost int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.tenants[tenant]
+	if st == nil || st.inflight == 0 {
+		return
+	}
+	st.inflight--
+	st.bucket.Refund(cost)
+}
+
+// estimator tracks per-service service-time distributions for the
+// deadline-admission wait estimate. It always exists — when the server has a
+// metrics registry the same observations also feed the registry's
+// server_service_seconds series, but admission must not depend on metrics
+// being enabled.
+type estimator struct {
+	hists map[wire.Svc]*telemetry.Histogram
+}
+
+func newEstimator() *estimator {
+	return &estimator{hists: map[wire.Svc]*telemetry.Histogram{
+		wire.SvcDedup:  telemetry.NewHistogram(nil),
+		wire.SvcMandel: telemetry.NewHistogram(nil),
+	}}
+}
+
+// observe records one completed request's service time.
+func (e *estimator) observe(svc wire.Svc, d time.Duration) {
+	e.hists[svc].ObserveDuration(d)
+}
+
+// wait estimates how long a newly admitted request of svc will sit before
+// completing: the queue ahead of it (the shared window occupancy), spread
+// across the worker replicas, at the median observed service time. Before
+// any observation exists the estimate is zero — the server admits
+// optimistically and lets the histogram converge.
+func (e *estimator) wait(svc wire.Svc, queued int64, workers int) time.Duration {
+	h := e.hists[svc]
+	if h.Count() == 0 || queued <= 0 {
+		return 0
+	}
+	p50 := h.Snapshot().Quantile(0.50)
+	if p50 <= 0 || workers < 1 {
+		return 0
+	}
+	turns := float64(queued)/float64(workers) + 1
+	return time.Duration(turns * p50 * float64(time.Second))
+}

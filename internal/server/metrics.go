@@ -14,11 +14,31 @@ func tenantLabels(svc wire.Svc, tenant uint32) telemetry.Labels {
 	return telemetry.Labels{"svc": svc.String(), "tenant": strconv.FormatUint(uint64(tenant), 10)}
 }
 
-// verdictLabels extends tenantLabels with the admission verdict.
-func verdictLabels(svc wire.Svc, tenant uint32, verdict string) telemetry.Labels {
+// verdictLabels extends tenantLabels with the admission verdict and — for
+// rejections — the one-byte wire reason ("none" on acceptance), so a
+// dashboard can tell a throttled tenant from a deadline miss from shared
+// overload without scraping logs.
+func verdictLabels(svc wire.Svc, tenant uint32, verdict string, reason wire.Reason) telemetry.Labels {
 	l := tenantLabels(svc, tenant)
 	l["verdict"] = verdict
+	l["reason"] = reason.String()
 	return l
+}
+
+// countVerdict is the single call site of the per-tenant admission verdict
+// counter (one call site per series keeps the label set coherent).
+func (s *Server) countVerdict(svc wire.Svc, tenant uint32, verdict string, reason wire.Reason) {
+	s.cfg.Metrics.Counter("server_requests_total", verdictLabels(svc, tenant, verdict, reason)).Inc()
+}
+
+// quarantineTransition is the health scoreboard's metrics hook.
+func (s *Server) quarantineTransition(dev int, quarantined bool) {
+	state := "readmitted"
+	if quarantined {
+		state = "quarantined"
+	}
+	s.cfg.Metrics.Counter("server_device_transitions_total",
+		telemetry.Labels{"dev": strconv.Itoa(dev), "state": state}).Inc()
 }
 
 // sessionGauge tracks live sessions.

@@ -36,8 +36,10 @@ import (
 	"streamgpu/internal/core"
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/health"
 	"streamgpu/internal/mandel"
 	"streamgpu/internal/pool"
+	"streamgpu/internal/server/qos"
 	"streamgpu/internal/server/wire"
 	"streamgpu/internal/telemetry"
 )
@@ -71,6 +73,21 @@ type Config struct {
 	// Metrics, when set, receives the server's per-tenant counters and
 	// histograms plus the pipeline and device instrumentation. nil is off.
 	Metrics *telemetry.Registry
+	// QoS is the per-tenant weight/rate/burst table (-tenant-weights). The
+	// zero value gives every tenant weight 1 and no rate limit.
+	QoS qos.Table
+	// DefaultDeadline applies to requests that carry no deadline of their
+	// own (-default-deadline). 0 disables deadline admission for them.
+	DefaultDeadline time.Duration
+	// Devices is the simulated GPU pool size for the dedup path (default
+	// 1). Batches spread across devices by sequence number.
+	Devices int
+	// Health configures the per-device quarantine scoreboard; the zero
+	// value uses the documented defaults. Only consulted when GPU is set.
+	Health health.Config
+	// DeviceFaults, when set, overrides Faults per device — the chaos
+	// harness's hook for degrading one device mid-stream.
+	DeviceFaults func(dev int) fault.Config
 }
 
 func (c Config) maxInflight() int {
@@ -108,6 +125,13 @@ func (c Config) maxPayload() int {
 	return c.batchSize()
 }
 
+func (c Config) devices() int {
+	if c.Devices <= 0 {
+		return 1
+	}
+	return c.Devices
+}
+
 // Server is a resident streaming service. Create with New, run with Serve,
 // stop with Shutdown.
 type Server struct {
@@ -118,6 +142,20 @@ type Server struct {
 
 	jobs  chan *job
 	mjobs chan *mandelJob
+
+	// The DRR schedulers sit between the sessions and the bounded job
+	// channels: sessions enqueue into per-tenant lanes, one dispatcher
+	// goroutine per service drains lanes fairly and forwards into the
+	// channel (the blocking send is still the backpressure point). Queue
+	// depth is bounded by the admission window — every scheduled item holds
+	// admitted requests — so the lanes cannot grow without bound.
+	dedupSched  *qos.Sched
+	mandelSched *qos.Sched
+	dispWG      sync.WaitGroup
+
+	adm    *admission
+	est    *estimator
+	scores *health.Scoreboard // nil when GPU is off
 
 	inflight atomic.Int64
 
@@ -156,12 +194,38 @@ func New(cfg Config) *Server {
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
 	}
+	s.adm = newAdmission(cfg.QoS, cfg.maxInflight(), nil)
+	s.est = newEstimator()
+	weight := cfg.QoS.Weight
+	s.dedupSched = qos.NewSched(cfg.batchSize(), weight, nil)
+	s.mandelSched = qos.NewSched(cfg.batchSize(), weight, nil)
+	if cfg.GPU {
+		hc := cfg.Health
+		hc.Devices = cfg.devices()
+		hc.OnTransition = s.quarantineTransition
+		s.scores = health.New(hc)
+	}
 	s.payloads.SetTelemetry(cfg.Metrics)
 	cfg.Metrics.GaugeFunc("server_inflight", telemetry.Labels{}, func() float64 {
 		return float64(s.inflight.Load())
 	})
+	cfg.Metrics.GaugeFunc("server_sched_depth", telemetry.Labels{"svc": "dedup"}, func() float64 {
+		return float64(s.dedupSched.Depth())
+	})
+	cfg.Metrics.GaugeFunc("server_sched_depth", telemetry.Labels{"svc": "mandel"}, func() float64 {
+		return float64(s.mandelSched.Depth())
+	})
+	if s.scores != nil {
+		cfg.Metrics.GaugeFunc("server_devices_quarantined", telemetry.Labels{}, func() float64 {
+			return float64(s.scores.QuarantinedCount())
+		})
+	}
 	return s
 }
+
+// Health exposes the device scoreboard (nil when the GPU path is off) — the
+// chaos harness asserts quarantine and re-admission through it.
+func (s *Server) Health() *health.Scoreboard { return s.scores }
 
 // Serve accepts connections on ln and blocks until Shutdown completes (or
 // the listener fails for a reason other than shutdown). The resident
@@ -236,6 +300,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.sessWG.Wait()
 	}
 
+	// Sessions are gone, so nothing enqueues anymore. Closing the
+	// schedulers lets the dispatchers drain what remains (graceful drain
+	// leaves the lanes empty — every session waited for its jobs; forced
+	// drain settles leftovers through their Drop callbacks), then exit.
+	s.dedupSched.Close()
+	s.mandelSched.Close()
+	s.dispWG.Wait()
+
 	// All producers are gone: closing the sources ends the resident
 	// ToStream regions through their normal EOS path.
 	close(s.jobs)
@@ -280,8 +352,18 @@ func (s *Server) startPipelines() {
 		Options:    dedup.Options{Metrics: s.cfg.Metrics},
 		MaxRetries: s.cfg.MaxRetries,
 		Faults:     s.cfg.Faults,
+		Devices:    s.cfg.devices(),
+		FaultsFor:  s.cfg.DeviceFaults,
+		Health:     s.scores,
 	}
 	useGPU := s.cfg.GPU
+
+	// One dispatcher per service pulls items from the fair scheduler and
+	// runs them (a blocking forward into the bounded job channel). Expired
+	// and dropped items are settled inside Next.
+	s.dispWG.Add(2)
+	go s.dispatch(s.dedupSched)
+	go s.dispatch(s.mandelSched)
 
 	dedupTS := core.NewToStream(core.Ordered(),
 		core.Telemetry(s.cfg.Metrics, "serve-dedup")).
@@ -314,6 +396,18 @@ func (s *Server) startPipelines() {
 		})
 		s.recordPipeErr(err)
 	}()
+}
+
+// dispatch is one service's scheduler-drain loop.
+func (s *Server) dispatch(sched *qos.Sched) {
+	defer s.dispWG.Done()
+	for {
+		it, ok := sched.Next()
+		if !ok {
+			return
+		}
+		it.Run()
+	}
 }
 
 func (s *Server) recordPipeErr(err error) {
@@ -408,10 +502,20 @@ func mandelParams(r MandelReq) mandel.Params {
 }
 
 // observeDone finishes one accepted request: service-time histogram,
-// response byte counter, admission-window release.
+// response byte counter, admission-window release (shared and per-tenant),
+// and the deadline estimator's service-time sample.
 func (s *Server) observeDone(svc wire.Svc, tenant uint32, respBytes int, d time.Duration) {
-	s.inflight.Add(-1)
+	s.releaseAdmitted(tenant)
+	s.est.observe(svc, d)
 	m := s.cfg.Metrics
 	m.Counter("server_response_bytes_total", tenantLabels(svc, tenant)).Add(int64(respBytes))
 	m.Histogram("server_service_seconds", nil, tenantLabels(svc, tenant)).ObserveDuration(d)
+}
+
+// releaseAdmitted returns one admitted request's shared-window slot and
+// tenant share without recording a completion — the path for requests that
+// die before reaching a sink (forced drain, deadline expiry in queue).
+func (s *Server) releaseAdmitted(tenant uint32) {
+	s.inflight.Add(-1)
+	s.adm.release(tenant)
 }

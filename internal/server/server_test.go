@@ -321,7 +321,7 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	out := prom.String()
 	for _, want := range []string{
-		`server_requests_total{svc="dedup",tenant="1",verdict="accepted"}`,
+		`server_requests_total{reason="none",svc="dedup",tenant="1",verdict="accepted"}`,
 		`server_request_bytes_total{svc="dedup",tenant="1"}`,
 		`server_response_bytes_total{svc="dedup",tenant="1"}`,
 		`server_service_seconds`,

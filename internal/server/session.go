@@ -12,6 +12,7 @@ import (
 
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/rabin"
+	"streamgpu/internal/server/qos"
 	"streamgpu/internal/server/wire"
 	"streamgpu/internal/telemetry"
 )
@@ -67,6 +68,13 @@ type session struct {
 	batchSeq int
 	chunker  *rabin.Chunker
 	linger   *time.Timer
+	// qosTenant keys the session's dedup scheduler lane: the tenant of the
+	// first admitted dedup request (sessions are single-tenant in practice;
+	// a mixed session is simply scheduled under its first tenant). Fixed
+	// once set so every batch of the session lands in one lane — per-lane
+	// FIFO is what keeps the session's batches in archive order.
+	qosTenant    uint32
+	qosTenantSet bool
 
 	// Archive state, touched only by the serial ordered sink (plus the read
 	// loop's final flush, which runs strictly after the last job drains).
@@ -156,12 +164,29 @@ loop:
 
 // handleData validates, admits and stages one request. It returns false on
 // a fatal protocol error.
+//
+// Admission is a four-stage machine:
+//
+//	tenant throttle → fair share → overload → deadline
+//
+// The per-tenant gate runs first so every arrival registers as a competitor
+// even while it is being rejected — a hog that filled the shared window
+// before a small tenant's first request must still see its fair share shrink
+// when that tenant starts knocking. Overload then guards the shared window
+// (every tenant sees it), and the deadline stage fast-fails a request whose
+// estimated queue wait already exceeds the deadline it carries — doing the
+// work would only produce an answer nobody is waiting for. Every rejection
+// ships a reason and a retry-after hint in the TReject payload.
 func (sess *session) handleData(f wire.Frame) bool {
 	s := sess.srv
 	if len(f.Payload) == 0 {
 		sess.fail(errors.New("empty request payload"))
 		return false
 	}
+	// cost is the request's size in bytes of work — payload bytes for
+	// dedup, output pixels for mandel — so fairness cannot be cheated by
+	// packing more work into fewer requests.
+	cost := len(f.Payload)
 	var mreq MandelReq
 	switch f.Svc {
 	case wire.SvcDedup:
@@ -171,6 +196,7 @@ func (sess *session) handleData(f wire.Frame) bool {
 			sess.fail(err)
 			return false
 		}
+		cost = int(mreq.Dim) * int(mreq.NRows)
 	default:
 		sess.fail(fmt.Errorf("unknown service %d", uint8(f.Svc)))
 		return false
@@ -178,30 +204,74 @@ func (sess *session) handleData(f wire.Frame) bool {
 	s.cfg.Metrics.Counter("server_request_bytes_total", tenantLabels(f.Svc, f.Tenant)).
 		Add(int64(len(f.Payload)))
 
-	// Admission: under the high-water mark the request is accepted (and the
-	// bounded job channels push backpressure up through this goroutine to
-	// TCP); at or above it the request is dropped with a fast-fail verdict.
-	if s.inflight.Load() >= int64(s.cfg.maxInflight()) {
-		s.cfg.Metrics.Counter("server_requests_total", verdictLabels(f.Svc, f.Tenant, "rejected")).Inc()
-		sess.sendFrame(wire.Frame{Type: wire.TReject, Svc: f.Svc, Tenant: f.Tenant, Seq: f.Seq})
+	deadline := f.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+
+	total := s.inflight.Load()
+	if v := s.adm.admit(f.Tenant, cost, total); !v.ok {
+		sess.sendReject(f.Svc, f.Tenant, f.Seq, v.reason, v.retryAfter)
 		return true
 	}
+	if total >= int64(s.cfg.maxInflight()) {
+		s.adm.cancel(f.Tenant, cost)
+		sess.sendReject(f.Svc, f.Tenant, f.Seq, wire.ReasonOverload,
+			s.est.wait(f.Svc, total, s.cfg.workers()))
+		return true
+	}
+	if deadline > 0 {
+		if est := s.est.wait(f.Svc, total, s.cfg.workers()); est > deadline {
+			s.adm.cancel(f.Tenant, cost)
+			sess.sendReject(f.Svc, f.Tenant, f.Seq, wire.ReasonDeadline, est-deadline)
+			return true
+		}
+	}
 	s.inflight.Add(1)
-	s.cfg.Metrics.Counter("server_requests_total", verdictLabels(f.Svc, f.Tenant, "accepted")).Inc()
+	s.countVerdict(f.Svc, f.Tenant, "accepted", wire.ReasonNone)
 
 	switch f.Svc {
 	case wire.SvcDedup:
 		sess.stageDedup(f)
 	case wire.SvcMandel:
-		mj := &mandelJob{sess: sess, seq: f.Seq, tenant: f.Tenant, t0: time.Now(), req: mreq}
-		sess.addOutstanding(1)
-		select {
-		case s.mjobs <- mj:
-		case <-s.ctx.Done():
-			sess.dropJob(1)
-		}
+		sess.stageMandel(f, mreq, cost, deadline)
 	}
 	return true
+}
+
+// stageMandel queues one row-range request into the fair scheduler. A
+// deadline rides along as the item's expiry: a request still queued past it
+// is settled with a late deadline reject instead of computed — the wasted
+// work the deadline exists to avoid.
+func (sess *session) stageMandel(f wire.Frame, mreq MandelReq, cost int, deadline time.Duration) {
+	s := sess.srv
+	mj := &mandelJob{sess: sess, seq: f.Seq, tenant: f.Tenant, t0: time.Now(), req: mreq}
+	sess.addOutstanding(1)
+	var expiry time.Time
+	if deadline > 0 {
+		expiry = mj.t0.Add(deadline)
+	}
+	s.mandelSched.Enqueue(f.Tenant, qos.Item{
+		Cost:     cost,
+		Deadline: expiry,
+		Run: func() {
+			select {
+			case s.mjobs <- mj:
+			case <-s.ctx.Done():
+				s.releaseAdmitted(mj.tenant)
+				sess.dropJob(1)
+			}
+		},
+		Expire: func() {
+			s.releaseAdmitted(mj.tenant)
+			sess.sendReject(wire.SvcMandel, mj.tenant, mj.seq, wire.ReasonDeadline, 0)
+			sess.dropJob(1)
+		},
+		Drop: func() {
+			s.releaseAdmitted(mj.tenant)
+			sess.dropJob(1)
+		},
+	})
 }
 
 // Seal triggers, recorded per batch for the coalescing metrics.
@@ -225,6 +295,10 @@ func (sess *session) stageDedup(f wire.Frame) {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if !sess.qosTenantSet {
+		sess.qosTenant = f.Tenant
+		sess.qosTenantSet = true
+	}
 	for {
 		if sess.cur == nil {
 			sess.cur = s.payloads.Get(batchSize)[:0]
@@ -248,10 +322,13 @@ func (sess *session) stageDedup(f wire.Frame) {
 	sess.armLingerLocked()
 }
 
-// sealLocked turns the staging buffer into a pooled batch and submits it to
-// the shared pipeline. Called with mu held; the blocking submit keeps batch
-// order equal to sequence order (the ordered pipeline preserves it from
-// there) and is what turns a full admission queue into backpressure.
+// sealLocked turns the staging buffer into a pooled batch and hands it to
+// the fair scheduler. Called with mu held; enqueueing under mu keeps batch
+// order equal to sequence order within the session's lane, and the
+// dispatcher's blocking forward into the bounded job channel is what turns
+// a full admission queue into backpressure. Sealed batches carry no
+// deadline: their bytes are already part of the session's archive stream
+// and must reach the writer or the stream is corrupt.
 func (sess *session) sealLocked(trigger string) {
 	if len(sess.cur) == 0 {
 		return
@@ -270,18 +347,27 @@ func (sess *session) sealLocked(trigger string) {
 	m.Counter("server_batches_sealed_total", telemetry.Labels{"trigger": trigger}).Inc()
 	m.Counter("server_batch_bytes_total", telemetry.Labels{}).Add(int64(len(j.data)))
 	sess.addOutstanding(1)
-	select {
-	case s.jobs <- j:
-	case <-s.ctx.Done():
+	discard := func() {
 		// Forced drain: the pipeline is going away, recycle and give up on
 		// the batch's requests (the client is being disconnected anyway).
 		j.batch.Release()
 		s.payloads.Release(j.data)
-		for range j.done {
-			s.inflight.Add(-1)
+		for _, c := range j.done {
+			s.releaseAdmitted(c.tenant)
 		}
 		sess.dropJob(1)
 	}
+	s.dedupSched.Enqueue(sess.qosTenant, qos.Item{
+		Cost: len(j.data),
+		Run: func() {
+			select {
+			case s.jobs <- j:
+			case <-s.ctx.Done():
+				discard()
+			}
+		},
+		Drop: discard,
+	})
 }
 
 // flushPartial seals the partial batch outside the data path (client flush,
@@ -399,6 +485,16 @@ func (sess *session) takeArchiveDelta() []byte {
 // sendResult ships one TResult frame.
 func (sess *session) sendResult(svc wire.Svc, seq uint64, tenant uint32, payload []byte) {
 	sess.sendFrame(wire.Frame{Type: wire.TResult, Svc: svc, Tenant: tenant, Seq: seq, Payload: payload})
+}
+
+// sendReject fast-fails one request with a reason code and a retry-after
+// hint, and counts the rejection under its reason label.
+func (sess *session) sendReject(svc wire.Svc, tenant uint32, seq uint64, reason wire.Reason, retryAfter time.Duration) {
+	sess.srv.countVerdict(svc, tenant, "rejected", reason)
+	sess.sendFrame(wire.Frame{
+		Type: wire.TReject, Svc: svc, Tenant: tenant, Seq: seq,
+		Payload: wire.AppendRejectInfo(nil, reason, retryAfter),
+	})
 }
 
 // sendFrame writes and flushes one frame; write errors mark the session

@@ -2,10 +2,25 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
+
+// rawDeadlineFrame hand-builds a deadline-flagged TData frame with an
+// arbitrary (possibly invalid) deadline word, bypassing Append's clamping.
+func rawDeadlineFrame(deadline uint64, payload []byte) []byte {
+	b := make([]byte, prefixLen+headerLen+extLen, prefixLen+headerLen+extLen+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(headerLen+extLen+len(payload)))
+	b[4] = byte(TData) | 0x80
+	b[5] = byte(SvcDedup)
+	binary.BigEndian.PutUint32(b[6:], 1)
+	binary.BigEndian.PutUint64(b[10:], 2)
+	binary.BigEndian.PutUint64(b[prefixLen+headerLen:], deadline)
+	return append(b, payload...)
+}
 
 // FuzzFrameDecode feeds arbitrary bytes to both decoders. The contracts:
 // neither panics; a successful Decode re-encodes to exactly the consumed
@@ -17,6 +32,19 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 1})
 	f.Add(Append(nil, Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 2, Payload: []byte("seed")}))
 	f.Add(Append(Append(nil, Frame{Type: TEnd}), Frame{Type: TResult, Seq: 9, Payload: []byte("xy")}))
+	// v2 deadline frames, well-formed and hostile. rawDeadlineFrame builds
+	// the flagged layout by hand so the corpus can carry deadline words
+	// Append would never emit: zero, sign-bit garbage, all-ones.
+	f.Add(Append(nil, Frame{Type: TData, Svc: SvcDedup, Tenant: 3, Seq: 1, Deadline: 250 * time.Millisecond, Payload: []byte("dl")}))
+	f.Add(rawDeadlineFrame(0, []byte("zero-deadline")))
+	f.Add(rawDeadlineFrame(1<<63, []byte("sign-bit")))
+	f.Add(rawDeadlineFrame(^uint64(0), nil))
+	f.Add(rawDeadlineFrame(1, nil))
+	// Flagged frame whose declared length covers the base header only — the
+	// extension would run past the frame.
+	short := Append(nil, Frame{Type: TData, Svc: SvcDedup, Seq: 4})
+	short[4] |= 0x80
+	f.Add(short)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Buffer decoder: walk as many frames as the data holds.
 		var fromDecode []Frame
@@ -60,7 +88,7 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		for i, fr := range fromDecode {
 			got := fromReader[i]
-			if got.Type != fr.Type || got.Svc != fr.Svc || got.Tenant != fr.Tenant || got.Seq != fr.Seq || !bytes.Equal(got.Payload, fr.Payload) {
+			if got.Type != fr.Type || got.Svc != fr.Svc || got.Tenant != fr.Tenant || got.Seq != fr.Seq || got.Deadline != fr.Deadline || !bytes.Equal(got.Payload, fr.Payload) {
 				t.Fatalf("frame %d: Reader %+v != Decode %+v", i, got, fr)
 			}
 		}
@@ -68,13 +96,21 @@ func FuzzFrameDecode(f *testing.F) {
 }
 
 // FuzzFrameRoundTrip encodes arbitrary frame fields and checks both decode
-// paths reproduce them exactly.
+// paths reproduce them exactly. The type is masked to its low 7 bits (bit 7
+// is the deadline flag, owned by the codec) and the deadline clamped to the
+// encodable range, mirroring what any real encoder produces.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint8(1), uint8(1), uint32(0), uint64(0), []byte{})
-	f.Add(uint8(4), uint8(2), uint32(77), uint64(1<<40), []byte("payload"))
-	f.Add(uint8(255), uint8(255), uint32(1<<31), uint64(3), bytes.Repeat([]byte{7}, 300))
-	f.Fuzz(func(t *testing.T, typ, svc uint8, tenant uint32, seq uint64, payload []byte) {
-		in := Frame{Type: Type(typ), Svc: Svc(svc), Tenant: tenant, Seq: seq, Payload: payload}
+	f.Add(uint8(1), uint8(1), uint32(0), uint64(0), int64(0), []byte{})
+	f.Add(uint8(4), uint8(2), uint32(77), uint64(1<<40), int64(0), []byte("payload"))
+	f.Add(uint8(255), uint8(255), uint32(1<<31), uint64(3), int64(0), bytes.Repeat([]byte{7}, 300))
+	f.Add(uint8(1), uint8(1), uint32(9), uint64(5), int64(time.Second), []byte("deadline"))
+	f.Add(uint8(1), uint8(2), uint32(0), uint64(0), int64(1), []byte{})
+	f.Add(uint8(1), uint8(1), uint32(1), uint64(1), int64(-5), []byte("negative: no flag"))
+	f.Fuzz(func(t *testing.T, typ, svc uint8, tenant uint32, seq uint64, deadline int64, payload []byte) {
+		in := Frame{Type: Type(typ & 0x7F), Svc: Svc(svc), Tenant: tenant, Seq: seq, Payload: payload}
+		if deadline > 0 {
+			in.Deadline = time.Duration(deadline)
+		}
 		enc := Append(nil, in)
 		got, n, err := Decode(enc)
 		if err != nil {
@@ -83,7 +119,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if n != len(enc) {
 			t.Fatalf("consumed %d of %d", n, len(enc))
 		}
-		if got.Type != in.Type || got.Svc != in.Svc || got.Tenant != in.Tenant || got.Seq != in.Seq || !bytes.Equal(got.Payload, in.Payload) {
+		if got.Type != in.Type || got.Svc != in.Svc || got.Tenant != in.Tenant || got.Seq != in.Seq || got.Deadline != in.Deadline || !bytes.Equal(got.Payload, in.Payload) {
 			t.Fatalf("Decode round-trip: got %+v want %+v", got, in)
 		}
 		rd := NewReader(bytes.NewReader(enc), len(payload)+1)
@@ -91,7 +127,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("Reader round-trip: %v", err)
 		}
-		if sg.Type != in.Type || sg.Svc != in.Svc || sg.Tenant != in.Tenant || sg.Seq != in.Seq || !bytes.Equal(sg.Payload, in.Payload) {
+		if sg.Type != in.Type || sg.Svc != in.Svc || sg.Tenant != in.Tenant || sg.Seq != in.Seq || sg.Deadline != in.Deadline || !bytes.Equal(sg.Payload, in.Payload) {
 			t.Fatalf("Reader round-trip: got %+v want %+v", sg, in)
 		}
 		if _, err := rd.Next(); err != io.EOF {

@@ -12,12 +12,24 @@
 //
 // Layout, all integers big-endian:
 //
-//	u32  length   // bytes after this field: 14 + len(payload)
-//	u8   type     // Type
+//	u32  length   // bytes after this field: 14 + [8] + len(payload)
+//	u8   type     // Type (low 7 bits) | flags (bit 7: deadline present)
 //	u8   svc      // Svc
 //	u32  tenant
 //	u64  seq
+//	[u64 deadline] // only when bit 7 of the type byte is set: relative
+//	               // deadline in nanoseconds (Frame.Deadline)
 //	...  payload
+//
+// Versioning: the codec's v1 layout had no deadline and a bare type byte.
+// v2 carries the optional deadline behind a flag bit in the type byte, so
+// every frame a v2 encoder emits *without* a deadline is byte-identical to
+// v1 — old clients keep decoding everything a server sends them (servers
+// never send deadlines; the reject reason and retry-after hint ride the
+// TReject payload, which v1 clients ignore). A v1 decoder handed a
+// deadline-flagged frame fails fast with an unknown-type error rather than
+// misparsing, and the length prefix still covers the extension, so framing
+// never desynchronizes across versions.
 package wire
 
 import (
@@ -26,6 +38,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 )
 
 // Type discriminates frames.
@@ -50,8 +64,10 @@ const (
 	// payload is the archive bytes produced since the previous result frame
 	// on this session; for SvcMandel it is the computed pixel rows.
 	TResult Type = 4
-	// TReject (server→client) fast-fails request Seq: the server is over
-	// its admission high-water mark and dropped the request unprocessed.
+	// TReject (server→client) fast-fails request Seq: the request was
+	// dropped unprocessed. The payload, when present, is a RejectInfo
+	// (one-byte Reason plus a retry-after hint); v1 servers send it empty
+	// and v1 clients ignore it either way.
 	TReject Type = 5
 	// TError (server→client) reports a fatal session error; the payload is
 	// a human-readable message and the connection closes after it.
@@ -101,24 +117,119 @@ func (s Svc) String() string {
 
 // Frame is one protocol message.
 type Frame struct {
-	Type    Type
-	Svc     Svc
-	Tenant  uint32
-	Seq     uint64
-	Payload []byte
+	Type   Type
+	Svc    Svc
+	Tenant uint32
+	Seq    uint64
+	// Deadline is the request's relative service budget: the client asks
+	// the server to answer within this long or fast-fail. Zero (or
+	// negative) means "no deadline" and encodes in the v1 layout; positive
+	// values set the deadline flag bit and append the extension word.
+	// Server→client frames never carry a deadline.
+	Deadline time.Duration
+	Payload  []byte
 }
 
 // Header and limit constants.
 const (
 	// headerLen is the fixed byte count after the length prefix.
 	headerLen = 1 + 1 + 4 + 8
+	// extLen is the deadline extension appended to the header when the
+	// type byte's flagDeadline bit is set.
+	extLen = 8
 	// prefixLen is the length prefix itself.
 	prefixLen = 4
+	// flagDeadline in the type byte marks a header carrying the deadline
+	// extension. Frame types themselves stay in the low 7 bits.
+	flagDeadline = 0x80
 	// DefaultMaxPayload caps payloads at the Dedup batch size: one request
 	// fills at most one batch, so admission counts requests and batches
 	// interchangeably.
 	DefaultMaxPayload = 1 << 20
 )
+
+// hdrLen returns the post-prefix header size for a frame with or without
+// the deadline extension.
+func hdrLen(withDeadline bool) int {
+	if withDeadline {
+		return headerLen + extLen
+	}
+	return headerLen
+}
+
+// Reason is the one-byte code a TReject frame carries explaining the
+// fast-fail, so clients can distinguish "back off" from "lower your load"
+// from "shorten your deadline".
+type Reason uint8
+
+// Reject reasons.
+const (
+	// ReasonNone is the zero value: the server predates reasons (a v1
+	// TReject with an empty payload) or did not specify one.
+	ReasonNone Reason = 0
+	// ReasonOverload: the shared admission window is full.
+	ReasonOverload Reason = 1
+	// ReasonDeadline: the queue-wait estimate already exceeded the
+	// request's deadline, so processing it would be wasted work.
+	ReasonDeadline Reason = 2
+	// ReasonQuarantine: capacity is degraded because one or more devices
+	// are quarantined and their work is rerouted to slower paths.
+	ReasonQuarantine Reason = 3
+	// ReasonThrottled: the tenant exhausted its own token bucket or fair
+	// share — other tenants are unaffected.
+	ReasonThrottled Reason = 4
+)
+
+// String names the reject reason; used as the metrics label value.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonOverload:
+		return "overload"
+	case ReasonDeadline:
+		return "deadline"
+	case ReasonQuarantine:
+		return "quarantine"
+	case ReasonThrottled:
+		return "tenant-throttled"
+	}
+	return fmt.Sprintf("Reason(%d)", uint8(r))
+}
+
+// rejectInfoLen is the encoded size of a RejectInfo payload.
+const rejectInfoLen = 1 + 8
+
+// AppendRejectInfo encodes a TReject payload: the reason byte followed by a
+// big-endian retry-after hint in nanoseconds (how long the client should
+// back off before retrying; 0 means "no hint, use your own backoff").
+func AppendRejectInfo(dst []byte, reason Reason, retryAfter time.Duration) []byte {
+	var buf [rejectInfoLen]byte
+	buf[0] = byte(reason)
+	if retryAfter > 0 {
+		binary.BigEndian.PutUint64(buf[1:], uint64(retryAfter))
+	}
+	return append(dst, buf[:]...)
+}
+
+// ParseRejectInfo decodes a TReject payload tolerantly: an empty or short
+// payload (a v1 server, or a truncated hint) yields ReasonNone and a zero
+// retry-after rather than an error, and a negative or absurd hint is clamped
+// to zero — a hostile server must never be able to park a client forever.
+func ParseRejectInfo(payload []byte) (Reason, time.Duration) {
+	if len(payload) < 1 {
+		return ReasonNone, 0
+	}
+	reason := Reason(payload[0])
+	if len(payload) < rejectInfoLen {
+		return reason, 0
+	}
+	d := binary.BigEndian.Uint64(payload[1:])
+	if d > uint64(math.MaxInt64) {
+		return reason, 0
+	}
+	return reason, time.Duration(d)
+}
 
 // Protocol errors.
 var (
@@ -131,18 +242,51 @@ var (
 
 // Append encodes f and appends it to dst, returning the extended slice.
 func Append(dst []byte, f Frame) []byte {
-	var hdr [prefixLen + headerLen]byte
-	binary.BigEndian.PutUint32(hdr[0:], uint32(headerLen+len(f.Payload)))
-	hdr[4] = byte(f.Type)
+	hl := hdrLen(f.Deadline > 0)
+	var hdr [prefixLen + headerLen + extLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(hl+len(f.Payload)))
+	tb := byte(f.Type) &^ flagDeadline
+	if f.Deadline > 0 {
+		tb |= flagDeadline
+	}
+	hdr[4] = tb
 	hdr[5] = byte(f.Svc)
 	binary.BigEndian.PutUint32(hdr[6:], f.Tenant)
 	binary.BigEndian.PutUint64(hdr[10:], f.Seq)
-	dst = append(dst, hdr[:]...)
+	if f.Deadline > 0 {
+		binary.BigEndian.PutUint64(hdr[prefixLen+headerLen:], uint64(f.Deadline))
+	}
+	dst = append(dst, hdr[:prefixLen+hl]...)
 	return append(dst, f.Payload...)
 }
 
 // EncodedLen reports the wire size of f.
-func EncodedLen(f Frame) int { return prefixLen + headerLen + len(f.Payload) }
+func EncodedLen(f Frame) int {
+	return prefixLen + hdrLen(f.Deadline > 0) + len(f.Payload)
+}
+
+// decodeHeader parses the post-prefix header bytes (which must span the full
+// header including any extension) into f, returning the total header length.
+// A flagged deadline with the sign bit set is rejected: it cannot represent a
+// positive time.Duration, so it is hostile or corrupt by construction.
+func decodeHeader(hdr []byte) (Frame, int, error) {
+	tb := hdr[0]
+	f := Frame{
+		Type:   Type(tb &^ flagDeadline),
+		Svc:    Svc(hdr[1]),
+		Tenant: binary.BigEndian.Uint32(hdr[2:]),
+		Seq:    binary.BigEndian.Uint64(hdr[6:]),
+	}
+	if tb&flagDeadline == 0 {
+		return f, headerLen, nil
+	}
+	d := binary.BigEndian.Uint64(hdr[headerLen:])
+	if d == 0 || d > uint64(math.MaxInt64) {
+		return Frame{}, 0, fmt.Errorf("%w: deadline %#x out of range", ErrFrame, d)
+	}
+	f.Deadline = time.Duration(d)
+	return f, headerLen + extLen, nil
+}
 
 // Decode parses one frame from the front of b without copying: the returned
 // frame's payload aliases b. It returns the number of bytes consumed.
@@ -158,14 +302,16 @@ func Decode(b []byte) (Frame, int, error) {
 	if uint64(n) > uint64(len(b)-prefixLen) {
 		return Frame{}, 0, fmt.Errorf("%w: declared length %d exceeds buffer %d", ErrFrame, n, len(b)-prefixLen)
 	}
-	f := Frame{
-		Type:   Type(b[4]),
-		Svc:    Svc(b[5]),
-		Tenant: binary.BigEndian.Uint32(b[6:]),
-		Seq:    binary.BigEndian.Uint64(b[10:]),
+	hl := hdrLen(b[4]&flagDeadline != 0)
+	if int(n) < hl {
+		return Frame{}, 0, fmt.Errorf("%w: declared length %d below extended header size %d", ErrFrame, n, hl)
 	}
-	if n > headerLen {
-		f.Payload = b[prefixLen+headerLen : prefixLen+n]
+	f, hl, err := decodeHeader(b[prefixLen : prefixLen+hl])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if int(n) > hl {
+		f.Payload = b[prefixLen+hl : prefixLen+n]
 	}
 	return f, prefixLen + int(n), nil
 }
@@ -225,7 +371,7 @@ func (fr *Reader) Peek() error {
 // Next reads one frame. io.EOF is returned verbatim at a clean frame
 // boundary; a partial frame returns an ErrFrame-wrapped error.
 func (fr *Reader) Next() (Frame, error) {
-	var pfx [prefixLen + headerLen]byte
+	var pfx [prefixLen + headerLen + extLen]byte
 	if _, err := io.ReadFull(fr.r, pfx[:prefixLen]); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
@@ -236,19 +382,31 @@ func (fr *Reader) Next() (Frame, error) {
 	if n < headerLen {
 		return Frame{}, fmt.Errorf("%w: declared length %d below header size", ErrFrame, n)
 	}
-	if int64(n)-headerLen > int64(fr.max) {
+	// The cap check uses the v1 header size: a deadline-flagged frame's 8
+	// extension bytes count against the cap slack, which is harmless.
+	if int64(n)-headerLen > int64(fr.max)+extLen {
 		return Frame{}, fmt.Errorf("%w: payload %d exceeds cap %d", ErrTooLarge, n-headerLen, fr.max)
 	}
-	if _, err := io.ReadFull(fr.r, pfx[prefixLen:]); err != nil {
+	if _, err := io.ReadFull(fr.r, pfx[prefixLen:prefixLen+headerLen]); err != nil {
 		return Frame{}, fmt.Errorf("%w: truncated header: %v", ErrFrame, err)
 	}
-	f := Frame{
-		Type:   Type(pfx[4]),
-		Svc:    Svc(pfx[5]),
-		Tenant: binary.BigEndian.Uint32(pfx[6:]),
-		Seq:    binary.BigEndian.Uint64(pfx[10:]),
+	hl := hdrLen(pfx[4]&flagDeadline != 0)
+	if int(n) < hl {
+		return Frame{}, fmt.Errorf("%w: declared length %d below extended header size %d", ErrFrame, n, hl)
 	}
-	if pl := int(n) - headerLen; pl > 0 {
+	if hl > headerLen {
+		if _, err := io.ReadFull(fr.r, pfx[prefixLen+headerLen:prefixLen+hl]); err != nil {
+			return Frame{}, fmt.Errorf("%w: truncated deadline extension: %v", ErrFrame, err)
+		}
+	}
+	f, hl, err := decodeHeader(pfx[prefixLen : prefixLen+hl])
+	if err != nil {
+		return Frame{}, err
+	}
+	if pl := int(n) - hl; pl > 0 {
+		if pl > fr.max {
+			return Frame{}, fmt.Errorf("%w: payload %d exceeds cap %d", ErrTooLarge, pl, fr.max)
+		}
 		if cap(fr.buf) < pl {
 			fr.buf = make([]byte, pl)
 		}

@@ -2,9 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -30,6 +32,121 @@ func TestRoundTrip(t *testing.T) {
 		}
 		if got.Type != f.Type || got.Svc != f.Svc || got.Tenant != f.Tenant || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
 			t.Errorf("%v: round-trip mismatch: got %+v", f.Type, got)
+		}
+	}
+}
+
+func TestDeadlineRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TData, Svc: SvcDedup, Tenant: 7, Seq: 1, Deadline: time.Millisecond, Payload: []byte("dl")},
+		{Type: TData, Svc: SvcMandel, Tenant: 0, Seq: 0, Deadline: 1},
+		{Type: TFlush, Svc: SvcDedup, Tenant: 9, Seq: 3, Deadline: 10 * time.Second},
+		// Negative deadlines encode as "none" — the frame is plain v1.
+		{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 2, Deadline: -time.Second},
+	}
+	for _, f := range frames {
+		enc := Append(nil, f)
+		if len(enc) != EncodedLen(f) {
+			t.Errorf("%+v: encoded %d bytes, EncodedLen says %d", f, len(enc), EncodedLen(f))
+		}
+		want := f
+		if want.Deadline < 0 {
+			want.Deadline = 0
+		}
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", f, err)
+		}
+		if n != len(enc) || got.Deadline != want.Deadline || got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("%+v: Decode got %+v (consumed %d of %d)", f, got, n, len(enc))
+		}
+		rd := NewReader(bytes.NewReader(enc), 0)
+		sg, err := rd.Next()
+		if err != nil {
+			t.Fatalf("%+v: Reader: %v", f, err)
+		}
+		if sg.Deadline != want.Deadline || sg.Type != want.Type || !bytes.Equal(sg.Payload, want.Payload) {
+			t.Errorf("%+v: Reader got %+v", f, sg)
+		}
+	}
+}
+
+// TestV1Compat pins the deadline-free encoding to the literal v1 byte
+// layout: a v2 encoder that never sets a deadline must be indistinguishable
+// from a v1 encoder, or old clients break.
+func TestV1Compat(t *testing.T) {
+	f := Frame{Type: TResult, Svc: SvcMandel, Tenant: 0x01020304, Seq: 0x05060708090a0b0c, Payload: []byte("v1")}
+	want := []byte{
+		0, 0, 0, 16, // length: 14-byte header + 2 payload
+		4, 2, // type (no flag bit), svc
+		1, 2, 3, 4, // tenant
+		5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, // seq
+		'v', '1',
+	}
+	if got := Append(nil, f); !bytes.Equal(got, want) {
+		t.Fatalf("v1 layout drifted:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestHostileDeadlines(t *testing.T) {
+	base := Append(nil, Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 2, Deadline: time.Second, Payload: []byte("p")})
+	mut := func(edit func(b []byte)) []byte {
+		b := append([]byte(nil), base...)
+		edit(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"zero deadline":     mut(func(b []byte) { binary.BigEndian.PutUint64(b[prefixLen+headerLen:], 0) }),
+		"sign-bit deadline": mut(func(b []byte) { binary.BigEndian.PutUint64(b[prefixLen+headerLen:], 1<<63) }),
+		"all-ones deadline": mut(func(b []byte) { binary.BigEndian.PutUint64(b[prefixLen+headerLen:], ^uint64(0)) }),
+		// Flag set but declared length only covers the base header.
+		"flag without extension": mut(func(b []byte) { binary.BigEndian.PutUint32(b, headerLen) }),
+	}
+	for name, b := range cases {
+		if _, _, err := Decode(b); !errors.Is(err, ErrFrame) {
+			t.Errorf("Decode %s: err = %v, want ErrFrame", name, err)
+		}
+		if _, err := NewReader(bytes.NewReader(b), 0).Next(); !errors.Is(err, ErrFrame) {
+			t.Errorf("Reader %s: err = %v, want ErrFrame", name, err)
+		}
+	}
+}
+
+func TestRejectInfo(t *testing.T) {
+	for _, tc := range []struct {
+		reason Reason
+		after  time.Duration
+	}{
+		{ReasonOverload, 0},
+		{ReasonDeadline, 50 * time.Millisecond},
+		{ReasonQuarantine, time.Minute},
+		{ReasonThrottled, 1},
+	} {
+		p := AppendRejectInfo(nil, tc.reason, tc.after)
+		r, d := ParseRejectInfo(p)
+		if r != tc.reason || d != tc.after {
+			t.Errorf("round-trip (%v, %v) = (%v, %v)", tc.reason, tc.after, r, d)
+		}
+	}
+	// Tolerant parses: v1 empty payload, truncated hint, hostile huge hint.
+	if r, d := ParseRejectInfo(nil); r != ReasonNone || d != 0 {
+		t.Errorf("empty payload = (%v, %v), want (none, 0)", r, d)
+	}
+	if r, d := ParseRejectInfo([]byte{byte(ReasonDeadline), 1, 2}); r != ReasonDeadline || d != 0 {
+		t.Errorf("truncated payload = (%v, %v), want (deadline, 0)", r, d)
+	}
+	hostile := AppendRejectInfo(nil, ReasonOverload, 0)
+	binary.BigEndian.PutUint64(hostile[1:], ^uint64(0))
+	if r, d := ParseRejectInfo(hostile); r != ReasonOverload || d != 0 {
+		t.Errorf("hostile hint = (%v, %v), want clamp to 0", r, d)
+	}
+	// Reason labels are stable metric values.
+	for r, want := range map[Reason]string{
+		ReasonNone: "none", ReasonOverload: "overload", ReasonDeadline: "deadline",
+		ReasonQuarantine: "quarantine", ReasonThrottled: "tenant-throttled",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, got, want)
 		}
 	}
 }

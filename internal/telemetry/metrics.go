@@ -98,6 +98,11 @@ type Histogram struct {
 	sumBits atomic.Uint64
 }
 
+// NewHistogram builds a standalone histogram outside any registry; nil
+// bounds selects SecondsBuckets. The serving layer's admission estimator
+// uses one so its queue-wait quantiles exist even when metrics are off.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // newHistogram builds the instrument; nil bounds selects SecondsBuckets.
 func newHistogram(bounds []float64) *Histogram {
 	if bounds == nil {
