@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos fuzz bench-json bench-gate verify
+.PHONY: build vet lint lint-json lint-selftest test race chaos fuzz bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,20 @@ vet:
 # including test files.
 lint:
 	$(GO) run ./cmd/streamvet ./...
+
+# lint-json emits every diagnostic — including suppressed ones, with their
+# mandatory //streamvet:ignore reasons — as machine-readable JSON. CI
+# uploads the file as an artifact so the suppression inventory is reviewable
+# per commit.
+lint-json:
+	$(GO) run ./cmd/streamvet -json ./... > STREAMVET.json
+
+# lint-selftest runs the analysis engine tests (call graph, dataflow solver,
+# suppression driver) and every analyzer's flagged/clean fixtures under the
+# race detector: the shared loader, fact store, and per-Program caches are
+# mutable state that analyzer tests exercise concurrently.
+lint-selftest:
+	$(GO) test -race -count=1 ./internal/analysis/...
 
 test:
 	$(GO) test ./...

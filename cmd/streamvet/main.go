@@ -1,6 +1,6 @@
 // Command streamvet runs the repository's custom static-analysis suite — the
 // machine-checked form of the pipeline and GPU API contracts (see DESIGN.md
-// §8):
+// §8 and §13):
 //
 //	gpuwait    completion events from gpu.Stream ops must be waited on or kept
 //	gpufree    gpu.Buf allocations must be freed or escape
@@ -12,10 +12,24 @@
 //	poolrelease  pool.Get values must be released or escape
 //	deadlinecheck  qos.Sched.Enqueue callers must consult the request
 //	           deadline or document the exemption
+//	lockorder  lock acquisition order must be consistent across the program
+//	ctxprop    ctx-receiving functions must thread ctx to blocking work
+//	goleak     spawned goroutines must have a reachable channel release path
+//	escapepool pool.Get values must reach Release on every path, through callees
+//
+// Diagnostics can be suppressed per line with a mandatory reason:
+//
+//	//streamvet:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above. A directive without a reason is
+// itself a diagnostic.
 //
 // Usage:
 //
-//	go run ./cmd/streamvet [packages]   # default ./...
+//	go run ./cmd/streamvet [-json] [packages]   # default ./...
+//
+// -json writes every diagnostic (including suppressed ones, with their
+// reasons) as an indented JSON array on stdout instead of text output.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on load or
 // internal errors. Unlike `go vet`, streamvet also analyzes test files.
@@ -27,10 +41,14 @@ import (
 	"os"
 
 	"streamgpu/internal/analysis"
+	"streamgpu/internal/analysis/ctxprop"
 	"streamgpu/internal/analysis/deadlinecheck"
+	"streamgpu/internal/analysis/escapepool"
 	"streamgpu/internal/analysis/faultseed"
+	"streamgpu/internal/analysis/goleak"
 	"streamgpu/internal/analysis/gpufree"
 	"streamgpu/internal/analysis/gpuwait"
+	"streamgpu/internal/analysis/lockorder"
 	"streamgpu/internal/analysis/metriclabel"
 	"streamgpu/internal/analysis/poolrelease"
 	"streamgpu/internal/analysis/runerr"
@@ -39,10 +57,14 @@ import (
 
 // suite is every analyzer streamvet runs, in diagnostic-name order.
 var suite = []*analysis.Analyzer{
+	ctxprop.Analyzer,
 	deadlinecheck.Analyzer,
+	escapepool.Analyzer,
 	faultseed.Analyzer,
+	goleak.Analyzer,
 	gpufree.Analyzer,
 	gpuwait.Analyzer,
+	lockorder.Analyzer,
 	metriclabel.Analyzer,
 	poolrelease.Analyzer,
 	runerr.Analyzer,
@@ -51,8 +73,9 @@ var suite = []*analysis.Analyzer{
 
 func main() {
 	help := flag.Bool("help", false, "print analyzer documentation and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (includes suppressed ones)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: streamvet [-help] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: streamvet [-help] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +105,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamvet:", err)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, loader.Fset, dir, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "streamvet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			if !d.Suppressed {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 	if analysis.PrintDiagnostics(os.Stdout, loader.Fset, diags) > 0 {
 		os.Exit(1)

@@ -19,6 +19,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"streamgpu/internal/analysis/facts"
 )
 
 // Analyzer describes one static check. It mirrors the x/tools type of the
@@ -41,6 +43,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Program is the whole analysis run: every loaded package in
+	// topological import order, the shared fact store, and a cache for
+	// program-wide structures like the call graph. Set by the driver.
+	Program *Program
+
 	// Report delivers one diagnostic; set by the driver.
 	Report func(Diagnostic)
 }
@@ -50,11 +57,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ExportObjectFact attaches a fact to obj in the program-wide store. Since
+// the driver analyzes packages callee-first, facts exported here are
+// visible when the object's callers are analyzed.
+func (p *Pass) ExportObjectFact(obj types.Object, f facts.Fact) {
+	p.Program.Facts().Export(obj, f)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr,
+// reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr facts.Fact) bool {
+	return p.Program.Facts().Import(obj, ptr)
+}
+
+// AllObjectFacts returns every exported fact of example's type, for
+// whole-program post-processing (lockorder's cycle detection).
+func (p *Pass) AllObjectFacts(example facts.Fact) []facts.ObjectFact {
+	return p.Program.Facts().All(example)
+}
+
 // Diagnostic is one finding. Position is resolved against the pass Fset.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the driver
+
+	// Suppressed marks a finding covered by a streamvet:ignore directive;
+	// SuppressReason carries the directive's mandatory reason. Set by the
+	// driver after all passes ran.
+	Suppressed     bool
+	SuppressReason string
 }
 
 // Callee resolves the called function or method of call, or nil for calls

@@ -1,0 +1,139 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"streamgpu/internal/analysis"
+	"streamgpu/internal/analysis/callgraph"
+)
+
+// load type-checks the fixture package and builds its call graph.
+func load(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.SharedLoader(cwd).CheckDir(filepath.Join(cwd, "testdata/src"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build([]*analysis.Package{pkg})
+}
+
+// label renders one edge as "Callee/kind" with +go/+defer markers, using
+// "Type.Method" for methods and "lit" for literals.
+func label(e *callgraph.Edge) string {
+	name := "lit"
+	if fn := e.Callee.Func; fn != nil {
+		name = fn.Name()
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	s := name + "/" + e.Kind.String()
+	if e.Go {
+		s += "+go"
+	}
+	if e.Defer {
+		s += "+defer"
+	}
+	return s
+}
+
+func TestResolution(t *testing.T) {
+	g := load(t)
+	cases := []struct {
+		caller string
+		want   []string
+	}{
+		{"static", []string{"work/static"}},
+		{"spawns", []string{"work/static+go"}},
+		{"deferred", []string{"work/static+defer"}},
+		// CHA: every declared type whose method set satisfies the
+		// interface gets an edge, value and pointer receivers alike.
+		{"viaInterface", []string{"A.Run/interface", "B.Run/interface"}},
+		// Stage-function field: the composite literal's store is followed
+		// through the field to the function it holds.
+		{"viaField", []string{"work/fieldvalue"}},
+		// Method value bound to a variable.
+		{"methodValue", []string{"A.Run/funcvalue"}},
+		{"viaVar", []string{"work/funcvalue"}},
+		{"viaLitVar", []string{"lit/funcvalue"}},
+		// Parameter binding: apply's f() resolves to what callers pass.
+		{"apply", []string{"work/funcvalue"}},
+		{"passes", []string{"apply/static"}},
+	}
+	for _, c := range cases {
+		t.Run(c.caller, func(t *testing.T) {
+			node := findFunc(t, g, c.caller)
+			var got []string
+			for _, e := range node.Out {
+				got = append(got, label(e))
+			}
+			sort.Strings(got)
+			sort.Strings(c.want)
+			if len(got) != len(c.want) {
+				t.Fatalf("%s: edges = %v, want %v", c.caller, got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("%s: edges = %v, want %v", c.caller, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestInEdges(t *testing.T) {
+	g := load(t)
+	// work is reached statically (three ways), through a var, through a
+	// field, and through a bound parameter; the In list mirrors the
+	// resolved Out edges.
+	work := findFunc(t, g, "work")
+	if len(work.In) < 5 {
+		t.Fatalf("work.In has %d edges, want at least 5", len(work.In))
+	}
+	for _, e := range work.In {
+		if e.Callee != work {
+			t.Fatalf("In edge of work targets %s", e.Callee.Name())
+		}
+	}
+}
+
+func TestCalleesBySite(t *testing.T) {
+	g := load(t)
+	node := findFunc(t, g, "viaInterface")
+	var sites int
+	for _, e := range node.Out {
+		got := g.Callees(e.Site)
+		if len(got) != 2 {
+			t.Fatalf("Callees(site) = %d edges, want 2 (CHA targets)", len(got))
+		}
+		sites++
+	}
+	if sites == 0 {
+		t.Fatal("viaInterface has no resolved sites")
+	}
+}
+
+func findFunc(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Funcs() {
+		if n.Func != nil && n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("function %s not in graph", name)
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises every call-resolution path of the graph
+// builder: static calls, go/defer sites, CHA interface dispatch, method
+// values, function-valued variables, struct fields holding stage
+// functions, and parameter binding.
+package fixture
+
+type Runner interface{ Run() }
+
+type A struct{}
+
+func (A) Run() {}
+
+type B struct{}
+
+func (*B) Run() {}
+
+func viaInterface(r Runner) {
+	r.Run()
+}
+
+func work() {}
+
+func static() { work() }
+
+func spawns() { go work() }
+
+func deferred() { defer work() }
+
+// Stage mirrors the ff/core pattern: a pipeline stage carries its body as
+// a function-typed field.
+type Stage struct {
+	fn func()
+}
+
+func viaField() {
+	s := Stage{fn: work}
+	s.fn()
+}
+
+func methodValue(a A) {
+	f := a.Run
+	f()
+}
+
+func viaVar() {
+	f := work
+	f()
+}
+
+func viaLitVar() {
+	g := func() {}
+	g()
+}
+
+func apply(f func()) { f() }
+
+func passes() { apply(work) }

@@ -1,0 +1,12 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/ctxprop"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, ctxprop.Analyzer, "testdata/flagged", "testdata/clean")
+}

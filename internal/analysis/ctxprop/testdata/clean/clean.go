@@ -1,0 +1,55 @@
+// Package clean holds true-negative fixtures for ctxprop: ctx threaded to
+// callees, selects with alternatives, exempt channel forms, ctx-less
+// functions (not this analyzer's business), and an acknowledged suppression.
+package clean
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// selected sends under a ctx.Done alternative.
+func selected(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// tryRecv has a default: never blocks.
+func tryRecv(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// threads passes its own ctx down; the callee selects properly.
+func threads(ctx context.Context, ch chan int) {
+	selected(ctx, ch)
+}
+
+// doneRecv receives from ctx.Done itself — the cancellation mechanism.
+func doneRecv(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// timed receives from a call-result channel with deadline semantics.
+func timed(ctx context.Context, d time.Duration) {
+	<-time.After(d)
+}
+
+// noCtx has no ctx to thread; naked blocking here is goleak's and the
+// caller's concern, not ctxprop's.
+func noCtx(ch chan int) {
+	<-ch
+}
+
+// acknowledged: the directive carries the mandatory reason, so the naked
+// wait is suppressed rather than reported.
+func acknowledged(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() //streamvet:ignore ctxprop all workers observe ctx and exit promptly after cancel
+}

@@ -1,0 +1,59 @@
+// Package flagged holds true-positive fixtures for ctxprop: ctx-receiving
+// functions that block outside their ctx, detach callees from cancellation,
+// or call into ctx-less blocking helpers.
+package flagged
+
+import (
+	"context"
+	"sync"
+)
+
+// sendNaked blocks sending with no select alternative.
+func sendNaked(ctx context.Context, ch chan int) {
+	ch <- 1 // want `outside any select`
+}
+
+// recvNaked blocks receiving with no select alternative.
+func recvNaked(ctx context.Context, ch chan int) {
+	<-ch // want `outside any select`
+}
+
+// singleCase is a select in form only: one clause is the same as a naked op.
+func singleCase(ctx context.Context, ch chan int) {
+	select {
+	case <-ch: // want `outside any select`
+	}
+}
+
+// waitNaked ignores ctx while waiting on a WaitGroup.
+func waitNaked(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want `waits on`
+}
+
+// detached hands a fresh Background to a ctx-taking callee.
+func detached(ctx context.Context) {
+	helper(context.Background()) // want `detaching`
+}
+
+func helper(ctx context.Context) { <-ctx.Done() }
+
+// blockingHelper takes no ctx and blocks unconditionally; it gets a
+// summary fact, not a report (its callers own the ctx decision).
+func blockingHelper(ch chan int) {
+	<-ch
+}
+
+// callsBlocking reaches the naked receive through a ctx-less callee — the
+// interprocedural finding.
+func callsBlocking(ctx context.Context, ch chan int) {
+	blockingHelper(ch) // want `cancellation cannot reach`
+}
+
+// transitive blocks two hops down the call chain.
+func middle(ch chan int) {
+	blockingHelper(ch)
+}
+
+func callsTransitive(ctx context.Context, ch chan int) {
+	middle(ch) // want `cancellation cannot reach`
+}

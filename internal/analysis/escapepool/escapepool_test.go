@@ -1,0 +1,12 @@
+package escapepool_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/escapepool"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, escapepool.Analyzer, "testdata/flagged", "testdata/clean")
+}

@@ -1,0 +1,124 @@
+// Package facts is the fact-export mechanism of the interprocedural
+// analysis layer: a typed, object-keyed store through which analyzers
+// publish what they proved about a declaration so that other passes — the
+// same analyzer visiting a downstream package, or a different analyzer
+// entirely — can consume it without re-deriving it.
+//
+// It mirrors golang.org/x/tools/go/analysis Facts closely enough to be
+// recognizable (a Fact is a marker-interface value attached to a
+// types.Object; import copies into a caller-supplied pointer), with one
+// deliberate difference: the x/tools driver serializes facts between
+// separate analysis processes, while this repo's driver analyzes the whole
+// module in one process, so the store is a plain in-memory map shared by
+// every pass of a run. The driver (analysis.RunAnalyzers) visits packages
+// in dependency order, which is what makes the callee-before-caller
+// summary flow of the interprocedural analyzers (lockorder, ctxprop,
+// goleak, escapepool) work: by the time a caller's package is analyzed,
+// facts about everything it imports are already in the store.
+package facts
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Fact is a marker interface for analyzer-exported facts. Implementations
+// must be pointer types (the store copies through them) and should be
+// declared by the exporting analyzer's package.
+type Fact interface {
+	// AFact brands the type; it is never called.
+	AFact()
+}
+
+// key identifies one fact: facts of different types attached to the same
+// object coexist (an object can carry a lockorder summary and a ctxprop
+// summary at once).
+type key struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// Store holds every fact of one analysis run. The zero value is not
+// usable; create with NewStore. Safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+	m  map[key]Fact
+}
+
+// NewStore creates an empty fact store.
+func NewStore() *Store {
+	return &Store{m: make(map[key]Fact)}
+}
+
+// factType validates that f is a non-nil pointer and returns its type.
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("facts: fact %T must be a pointer type", f))
+	}
+	return t
+}
+
+// Export attaches f to obj, replacing any previous fact of the same type.
+// The stored value is a copy, so the caller may reuse f.
+func (s *Store) Export(obj types.Object, f Fact) {
+	if obj == nil {
+		panic("facts: Export with nil object")
+	}
+	t := factType(f)
+	cp := reflect.New(t.Elem())
+	cp.Elem().Set(reflect.ValueOf(f).Elem())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key{obj, t}] = cp.Interface().(Fact)
+}
+
+// Import copies the fact of ptr's type attached to obj into ptr and reports
+// whether one existed.
+func (s *Store) Import(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	t := factType(ptr)
+	s.mu.Lock()
+	f, ok := s.m[key{obj, t}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// ObjectFact pairs an object with one exported fact, for All.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// All returns every stored fact whose type matches example's, in a
+// deterministic order (sorted by object position then name) — the global
+// view an analyzer needs for whole-program post-processing such as
+// lockorder's cycle detection.
+func (s *Store) All(example Fact) []ObjectFact {
+	t := factType(example)
+	s.mu.Lock()
+	var out []ObjectFact
+	for k, f := range s.m {
+		if k.t == t {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := out[i].Object, out[j].Object
+		if oi.Pos() != oj.Pos() {
+			return oi.Pos() < oj.Pos()
+		}
+		return oi.Name() < oj.Name()
+	})
+	return out
+}

@@ -1,0 +1,393 @@
+// Package goleak defines an analyzer that flags `go` statements whose
+// goroutine can block on a channel forever with no reachable release path —
+// the static twin of the runtime leak checker in internal/testutil. A
+// leaked goroutine pins its stack and everything it captures for the life
+// of the process; in a resident server (cmd/streamd) that is an unbounded
+// resource drain no test notices.
+//
+// For every go edge in the call graph, the spawned body (function literal
+// or declared function, one call level deep) is scanned for unguarded
+// channel operations:
+//
+//   - a receive or range needs a close of that same channel somewhere in
+//     the program, or a select alternative;
+//   - a send needs the channel to be created with a buffer somewhere, a
+//     receive of it elsewhere in the program, or a select alternative.
+//
+// Channel identity is the root variable (local, field, or package var);
+// when the goroutine runs a declared function, the call's arguments are
+// substituted for its parameters, so `go drain(ch)` is checked against the
+// spawner's ch. Operations on parameters whose provenance the analyzer
+// cannot see, and on call-result channels (ctx.Done(), time.After), are
+// skipped.
+//
+// KNOWN-UNSOUND (documented limitation, proven by the clean fixture): a
+// send to a channel that anywhere gets a non-zero buffer is assumed
+// non-blocking, but a buffer only absorbs that many sends — a goroutine
+// sending twice to a 1-buffered channel nobody drains still leaks. The
+// receive rule is unsound the other way: the presence of a close statement
+// does not prove the close is reached on every path.
+package goleak
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"streamgpu/internal/analysis"
+	"streamgpu/internal/analysis/callgraph"
+)
+
+// Analyzer flags goroutines that can block forever on a channel.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "a goroutine blocking on a channel must have a reachable release path " +
+		"(close for receives, buffer or receiver for sends, or a select alternative); " +
+		"otherwise it leaks for the life of the process",
+	Run: run,
+}
+
+// chanIndex is the program-wide channel bookkeeping, built once per run.
+type chanIndex struct {
+	closed   map[*types.Var]bool // close(ch) exists
+	buffered map[*types.Var]bool // make(chan T, n>0) reaches the var
+	received map[*types.Var]int  // count of receive/range sites
+	params   map[*types.Var]bool // declared as a function parameter
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Of(pass)
+	idx := pass.Program.Cached("goleak.index", func() any {
+		return buildIndex(pass.Program.Pkgs)
+	}).(*chanIndex)
+
+	// Check every go site whose spawner lives in this package: each site
+	// is visited exactly once per run.
+	for _, n := range g.Funcs() {
+		if n.Pkg == nil || n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		seenSites := make(map[*ast.CallExpr]bool)
+		for _, e := range n.Out {
+			if !e.Go || seenSites[e.Site] {
+				continue
+			}
+			seenSites[e.Site] = true
+			checkSpawn(pass, idx, e)
+		}
+	}
+	return nil
+}
+
+// checkSpawn reports the first hopeless blocking operation of one spawned
+// goroutine.
+func checkSpawn(pass *analysis.Pass, idx *chanIndex, e *callgraph.Edge) {
+	body := e.Callee.Body()
+	if body == nil {
+		return
+	}
+	info := e.Callee.Pkg.Info
+
+	// Parameter substitution for `go fn(ch)`: the callee's params map to
+	// the go call's argument roots, resolved in the spawner's package.
+	subst := paramSubst(pass.TypesInfo, e)
+
+	var reported bool
+	report := func(format string, args ...any) {
+		if !reported {
+			reported = true
+			pass.Reportf(e.Site.Pos(), format, args...)
+		}
+	}
+	analysis.WithStack(body, func(nd ast.Node, stack []ast.Node) bool {
+		if reported {
+			return false
+		}
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false // nested spawn/callback: its own go edge if spawned
+		}
+		switch nd := nd.(type) {
+		case *ast.UnaryExpr:
+			if nd.Op != token.ARROW {
+				return true
+			}
+			v := chanRoot(info, nd.X, subst, idx.params)
+			if v == nil || selectGuarded(nd, stack) {
+				return true
+			}
+			if !idx.closed[v] {
+				report("goroutine blocks receiving from %s, which is never closed; close it when producers finish or select on a cancel path", v.Name())
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(nd.X).Underlying().(*types.Chan); !ok {
+				return true
+			}
+			v := chanRoot(info, nd.X, subst, idx.params)
+			if v == nil {
+				return true
+			}
+			if !idx.closed[v] {
+				report("goroutine ranges over %s, which is never closed, so the loop can never finish", v.Name())
+			}
+		case *ast.SendStmt:
+			v := chanRoot(info, nd.Chan, subst, idx.params)
+			if v == nil || selectGuarded(nd, stack) {
+				return true
+			}
+			if !idx.buffered[v] && idx.received[v] == 0 {
+				report("goroutine blocks sending to %s, which is unbuffered and never received from; add a receiver, a buffer, or a select alternative", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// paramSubst maps the spawned function's parameters to the root variables
+// of the go call's arguments. Nil-valued entries mean "unknown".
+func paramSubst(callerInfo *types.Info, e *callgraph.Edge) map[*types.Var]*types.Var {
+	if e.Callee.Func == nil || e.Callee.Decl == nil {
+		return nil
+	}
+	sig, ok := e.Callee.Func.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	subst := make(map[*types.Var]*types.Var)
+	params := sig.Params()
+	for i, arg := range e.Site.Args {
+		if i >= params.Len() {
+			break
+		}
+		subst[params.At(i)] = rawRoot(callerInfo, arg)
+	}
+	return subst
+}
+
+// chanRoot resolves a channel expression to its root variable, applying one
+// round of parameter substitution and then refusing parameters with unknown
+// provenance; nil when untrackable (call results, indexed channels).
+func chanRoot(info *types.Info, expr ast.Expr, subst map[*types.Var]*types.Var, params map[*types.Var]bool) *types.Var {
+	v := rawRoot(info, expr)
+	if v == nil {
+		return nil
+	}
+	if mapped, ok := subst[v]; ok {
+		v = mapped // may be nil: unknown provenance at the go site
+	}
+	if v == nil || (params[v] && !v.IsField()) {
+		return nil
+	}
+	return v
+}
+
+// selectGuarded reports whether the operation is the communication of a
+// select clause with an alternative.
+func selectGuarded(op ast.Node, stack []ast.Node) bool {
+	child := op
+	for i := len(stack) - 1; i >= 0; i-- {
+		cc, ok := stack[i].(*ast.CommClause)
+		if !ok {
+			child = stack[i]
+			continue
+		}
+		if cc.Comm == nil || !within(cc.Comm, child, op) {
+			return false
+		}
+		for j := i - 1; j >= 0; j-- {
+			if sel, ok := stack[j].(*ast.SelectStmt); ok {
+				return len(sel.Body.List) >= 2
+			}
+			if _, ok := stack[j].(*ast.BlockStmt); !ok {
+				break
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func within(root ast.Node, child, op ast.Node) bool {
+	if child == root || op == root {
+		return true
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == op {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// argBind records one call-site binding of an argument's root variable to
+// a callee parameter, used to propagate closes and receives backwards:
+// close(ch) inside helper(ch chan int) closes whatever the caller passed.
+type argBind struct {
+	param, arg *types.Var
+}
+
+// buildIndex scans every file of the program for closes, buffered makes,
+// and receives.
+func buildIndex(pkgs []*analysis.Package) *chanIndex {
+	idx := &chanIndex{
+		closed:   make(map[*types.Var]bool),
+		buffered: make(map[*types.Var]bool),
+		received: make(map[*types.Var]int),
+		params:   make(map[*types.Var]bool),
+	}
+	var binds []argBind
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncType:
+					// Parameters of declared functions, methods, and
+					// function literals; names inside bare type expressions
+					// have no Defs entry and are skipped by the nil check.
+					if n.Params != nil {
+						for _, field := range n.Params.List {
+							for _, name := range field.Names {
+								if v, ok := info.Defs[name].(*types.Var); ok {
+									idx.params[v] = true
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+						if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+							if v := rawRoot(info, n.Args[0]); v != nil {
+								idx.closed[v] = true
+							}
+							return true
+						}
+					}
+					if fn := analysis.Callee(info, n); fn != nil {
+						if sig, ok := fn.Type().(*types.Signature); ok {
+							for i, arg := range n.Args {
+								if i >= sig.Params().Len() {
+									break
+								}
+								pv := sig.Params().At(i)
+								if _, isChan := pv.Type().Underlying().(*types.Chan); !isChan {
+									continue
+								}
+								if av := rawRoot(info, arg); av != nil {
+									binds = append(binds, argBind{param: pv, arg: av})
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i < len(n.Rhs) && isBufferedMake(info, n.Rhs[i]) {
+							if v := rawRoot(info, lhs); v != nil {
+								idx.buffered[v] = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i < len(n.Values) && isBufferedMake(info, n.Values[i]) {
+							if v, ok := info.Defs[name].(*types.Var); ok {
+								idx.buffered[v] = true
+							}
+						}
+					}
+				case *ast.KeyValueExpr:
+					if key, ok := n.Key.(*ast.Ident); ok && isBufferedMake(info, n.Value) {
+						if v, ok := info.Uses[key].(*types.Var); ok {
+							idx.buffered[v] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if v := rawRoot(info, n.X); v != nil {
+							idx.received[v]++
+						}
+					}
+				case *ast.RangeStmt:
+					if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+						if v := rawRoot(info, n.X); v != nil {
+							idx.received[v]++
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Propagate closes and receives through call-argument bindings so that
+	// a helper closing or draining its channel parameter credits whatever
+	// the caller passed in. A couple of rounds handles nested helpers.
+	for range [3]int{} {
+		changed := false
+		for _, b := range binds {
+			if idx.closed[b.param] && !idx.closed[b.arg] {
+				idx.closed[b.arg] = true
+				changed = true
+			}
+			if idx.received[b.param] > 0 && idx.received[b.arg] == 0 {
+				idx.received[b.arg] = 1
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return idx
+}
+
+// rawRoot is chanRoot without the parameter filtering: the index must see
+// closes and receives through parameters too (close(ch) inside a helper
+// the channel was passed to still closes the caller's channel — it is the
+// same object only when ch is the helper's param, which substitution
+// handles at check time; indexing the param var is still useful for
+// param-rooted goroutine bodies).
+func rawRoot(info *types.Info, expr ast.Expr) *types.Var {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[expr].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Defs[expr].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[expr]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[expr.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isBufferedMake reports whether expr is make(chan T, n) with constant
+// n > 0 (or a non-constant capacity, assumed positive).
+func isBufferedMake(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if _, isChan := info.TypeOf(call).Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return true // runtime capacity: assume positive
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	return ok && n > 0
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/goleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "testdata/flagged", "testdata/clean")
+}

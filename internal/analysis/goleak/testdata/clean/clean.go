@@ -1,0 +1,79 @@
+// Package clean holds true-negative fixtures for goleak: goroutines whose
+// channel operations have a reachable release path, plus the documented
+// known-unsound buffered-send case.
+package clean
+
+// workerPool ranges over a channel its producer closes.
+func workerPool() {
+	jobs := make(chan int)
+	go func() {
+		for range jobs {
+		}
+	}()
+	jobs <- 1
+	close(jobs)
+}
+
+// shutdown closes its parameter; the close is credited to the caller's
+// channel through argument binding.
+func shutdown(ch chan int) {
+	close(ch)
+}
+
+// helperClosed hands its channel to a closing helper.
+func helperClosed() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	ch <- 1
+	shutdown(ch)
+}
+
+// guardedLocal blocks only inside a select with an alternative: either arm
+// can release it.
+func guardedLocal() {
+	data := make(chan int)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-data:
+		case <-stop:
+		}
+	}()
+	close(stop)
+	_ = data
+}
+
+// computeAsync sends to an unbuffered channel the spawner receives from.
+func computeAsync() int {
+	res := make(chan int)
+	go func() {
+		res <- 7
+	}()
+	return <-res
+}
+
+// spawnParam blocks on a parameter channel: its provenance is unknown at
+// this depth, so goleak stays silent rather than guess.
+func spawnParam(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// KNOWN-UNSOUND (documented limitation): goleak assumes a send to a
+// channel created with a buffer never blocks. The second send below
+// overflows the 1-slot buffer with no receiver and leaks the goroutine
+// forever, yet is not flagged — the analyzer trades this soundness hole
+// for not flagging the ubiquitous `done := make(chan error, 1)`
+// completion pattern, where the buffer guarantees the send returns even
+// when the waiter has given up.
+func unsoundBufferedSend() {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+		done <- 2 // blocks forever: buffer full, nobody receives
+	}()
+}

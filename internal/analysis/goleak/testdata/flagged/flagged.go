@@ -1,0 +1,46 @@
+// Package flagged holds true-positive fixtures for goleak: goroutines
+// blocking on channels with no close, no buffer, no receiver, and no
+// select alternative — each leaks for the life of the process.
+package flagged
+
+// leakRecv receives on a channel nothing ever closes.
+func leakRecv() {
+	ch := make(chan int)
+	go func() { // want `never closed`
+		<-ch
+	}()
+}
+
+// leakRange ranges over a channel nothing ever closes: the loop can never
+// terminate even after the producer stops sending.
+func leakRange() {
+	jobs := make(chan int)
+	go func() { // want `never closed`
+		for range jobs {
+		}
+	}()
+	jobs <- 1
+}
+
+// leakSend sends on an unbuffered channel nothing ever receives from —
+// the classic abandoned-result leak.
+func leakSend() {
+	res := make(chan int)
+	go func() { // want `unbuffered and never received from`
+		res <- 42
+	}()
+}
+
+// drainForever is spawned below; the leak is charged to the go statement,
+// with the spawner's argument substituted for the parameter.
+func drainForever(ch chan int) {
+	for range ch {
+	}
+}
+
+// leakSpawnDecl spawns a declared function over a channel it never closes.
+func leakSpawnDecl() {
+	ch := make(chan int)
+	go drainForever(ch) // want `never closed`
+	ch <- 1
+}

@@ -57,6 +57,32 @@ type Loader struct {
 	exports map[string]string         // import path -> export-data file
 	srcPkgs map[string]*types.Package // import path -> source-checked package
 	listed  map[string]*listedPkg
+	parsed  map[string]*ast.File // file path -> parsed syntax (shared Fset)
+	dirPkgs map[string]*Package  // dir -> CheckDir result
+}
+
+// Loaders are expensive: each one re-reads stdlib export data and
+// re-parses every file it touches. sharedLoaders memoizes one Loader per
+// module directory for the life of the process, so the analyzer test
+// binaries (one analysistest.Run per fixture directory) and repeated
+// programmatic loads stop re-type-checking the world — the shared Fset and
+// importer also guarantee one type identity per package across calls.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = make(map[string]*Loader)
+)
+
+// SharedLoader returns the process-wide Loader for the module containing
+// dir, creating it on first use.
+func SharedLoader(dir string) *Loader {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	l, ok := sharedLoaders[dir]
+	if !ok {
+		l = NewLoader(dir)
+		sharedLoaders[dir] = l
+	}
+	return l
 }
 
 // NewLoader creates a loader for the module containing dir.
@@ -67,6 +93,8 @@ func NewLoader(dir string) *Loader {
 		exports: make(map[string]string),
 		srcPkgs: make(map[string]*types.Package),
 		listed:  make(map[string]*listedPkg),
+		parsed:  make(map[string]*ast.File),
+		dirPkgs: make(map[string]*Package),
 	}
 	// One gc importer for the loader's lifetime: it memoizes by import path,
 	// so every type-check sees the same *types.Package for, say, "context" —
@@ -219,13 +247,26 @@ func (l *Loader) sourcePackage(path string) (*types.Package, error) {
 	return pkg, nil
 }
 
-// parseFiles parses the named files in dir.
+// parseFiles parses the named files in dir, memoized per path: a package's
+// non-test files are parsed both for its analysis load (with tests) and
+// its import-from-source variant (without), and the shared Fset makes the
+// same *ast.File safe to type-check in both.
 func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
+		path := filepath.Join(dir, name)
+		l.mu.Lock()
+		f, ok := l.parsed[path]
+		l.mu.Unlock()
+		if !ok {
+			var err error
+			f, err = parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			l.mu.Lock()
+			l.parsed[path] = f
+			l.mu.Unlock()
 		}
 		files = append(files, f)
 	}
@@ -329,7 +370,15 @@ func (l *Loader) check(path string, files []*ast.File) (*checked, error) {
 // CheckDir parses and type-checks every .go file directly inside dir as one
 // package — the entry point analysistest uses for testdata fixtures, which
 // `go list` cannot see (testdata directories are invisible to the go tool).
+// Results are memoized by dir, so several analyzers testing against the
+// same fixture pay for one load.
 func (l *Loader) CheckDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	cached, ok := l.dirPkgs[dir]
+	l.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -352,8 +401,12 @@ func (l *Loader) CheckDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Package{
+	out := &Package{
 		PkgPath: "fixture/" + filepath.Base(dir), Dir: dir, Fset: l.Fset,
 		Files: files, Types: pkg.Types, Info: pkg.Info,
-	}, nil
+	}
+	l.mu.Lock()
+	l.dirPkgs[dir] = out
+	l.mu.Unlock()
+	return out, nil
 }

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/analysis/analysistest"
+	"streamgpu/internal/analysis/lockorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/flagged", "testdata/clean")
+}

@@ -1,0 +1,88 @@
+// Package clean holds true-negative fixtures for lockorder: consistent
+// global order, hand-over-hand over sibling instances, sequential (not
+// nested) acquisition, read locks, and the documented goroutine limitation.
+package clean
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type R struct{ mu sync.RWMutex }
+
+// one and two nest in the same global order (A before B), so only one edge
+// direction ever exists.
+func one(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func two(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// chain is hand-over-hand over two instances of the same type: one lock
+// identity, and same-identity pairs are never an order violation.
+func chain(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// seq and seqRev acquire in opposite orders but never nest, so no edges
+// arise at all.
+func seq(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func seqRev(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// read takes only the read half of an RWMutex, paired and released.
+func read(r *R, a *A) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// branches lock on both arms and re-join released.
+func branches(a *A, b *B, cond bool) {
+	if cond {
+		a.mu.Lock()
+		b.mu.Lock()
+		b.mu.Unlock()
+		a.mu.Unlock()
+	} else {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// spawn acquires B on another goroutine while holding A. Cross-goroutine
+// acquisition order is a documented non-goal (the spawned body is analyzed
+// as its own function), so no edge and no finding.
+func spawn(a *A, b *B) {
+	a.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+	a.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+// Package flagged holds true-positive fixtures for lockorder: inconsistent
+// acquisition orders, both direct and through a callee's summary, and a
+// same-receiver double lock.
+package flagged
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// ab establishes the A -> B acquisition order; recording an edge is not
+// itself a finding.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba acquires in the reverse order, closing the cycle.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// double re-locks through the same receiver while held: guaranteed
+// self-deadlock, no second goroutine needed.
+func double(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `same receiver`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// lockD acquires d.mu on the caller's behalf; its summary says so.
+func lockD(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sink(d)
+}
+
+// cd holds C while calling lockD: the C -> D edge exists only through the
+// callee summary, which is the interprocedural half of the analyzer.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d)
+	c.mu.Unlock()
+}
+
+// dc acquires C while holding D, closing the interprocedural cycle.
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock() // want `lock order cycle`
+	c.mu.Unlock()
+}
+
+func sink(any interface{}) {}

@@ -1,0 +1,36 @@
+// Package suppress exercises the streamvet:ignore driver logic: a valid
+// suppression with a reason, a directive missing its reason, a bare
+// directive, and one naming an unknown analyzer. Every function leaks a
+// goroutine on purpose so the goleak analyzer has something to say.
+package suppress
+
+func validSuppression() {
+	ch := make(chan int)
+	go func() { //streamvet:ignore goleak fixture proves a reasoned directive suppresses the diagnostic
+		<-ch
+	}()
+}
+
+func missingReason() {
+	ch := make(chan int)
+	//streamvet:ignore goleak
+	go func() {
+		<-ch
+	}()
+}
+
+func bareDirective() {
+	ch := make(chan int)
+	//streamvet:ignore
+	go func() {
+		<-ch
+	}()
+}
+
+func unknownAnalyzer() {
+	ch := make(chan int)
+	//streamvet:ignore nosuchcheck the analyzer name is wrong so this must not suppress
+	go func() {
+		<-ch
+	}()
+}

@@ -179,7 +179,7 @@ func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	}
 	s.schedule(s.now, func() {
 		p.started = true
-		go func() {
+		go func() { //streamvet:ignore goleak the cooperative scheduler resumes every spawned proc via runProc, and Run drains stragglers on termination
 			<-p.resume // wait for first activation
 			defer func() {
 				if r := recover(); r != nil {

@@ -275,8 +275,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		<-s.done
-		return s.shutdownErr
+		// A concurrent Shutdown is already draining; wait for it, but honor
+		// our own ctx — the other call may be running under a longer one.
+		select {
+		case <-s.done:
+			return s.shutdownErr
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.draining = true
 	ln := s.ln
@@ -297,7 +303,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			sess.conn.Close()
 		}
 		s.mu.Unlock()
-		s.sessWG.Wait()
+		s.sessWG.Wait() //streamvet:ignore ctxprop ctx already expired on this path; cancel+conn close makes every session read loop exit unconditionally
 	}
 
 	// Sessions are gone, so nothing enqueues anymore. Closing the
@@ -306,7 +312,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// drain settles leftovers through their Drop callbacks), then exit.
 	s.dedupSched.Close()
 	s.mandelSched.Close()
-	s.dispWG.Wait()
+	s.dispWG.Wait() //streamvet:ignore ctxprop Close unblocks the dispatchers' cond.Wait and they drain bounded lanes, so this wait is finite by construction
 
 	// All producers are gone: closing the sources ends the resident
 	// ToStream regions through their normal EOS path.
@@ -315,7 +321,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.waitCtx(ctx, &s.pipeWG) {
 		forced = ctx.Err()
 		s.cancel()
-		s.pipeWG.Wait()
+		s.pipeWG.Wait() //streamvet:ignore ctxprop ctx already expired on this path; cancel aborts the resident streams through the ff cancel+drain path
 	}
 	s.cancel()
 
