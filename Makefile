@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-json lint-selftest test race chaos fuzz bench-json bench-gate verify
+.PHONY: build vet lint lint-json lint-selftest test race chaos cluster fuzz bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ race:
 # health code.
 chaos:
 	$(GO) test -race -count=1 ./internal/testutil/chaos
+
+# cluster runs the 3-node in-process smoke under the race detector: sharded
+# routing (redirect and forward), cluster-wide dedup through two nodes, and
+# the failover scenario that kills a node mid-stream via internal/fault and
+# requires every session to complete on the survivors with byte-verified
+# archives and leak-clean teardown (internal/cluster, DESIGN.md §14).
+cluster:
+	$(GO) test -race -count=1 -run 'TestCluster|TestRedirect|TestLoadgen|TestNodeFault' ./internal/cluster
 
 # fuzz gives each fuzz target a short randomized run on top of the committed
 # seed corpora (testdata/fuzz): the wire codec's decoders and the archive

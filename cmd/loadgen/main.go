@@ -4,6 +4,12 @@
 //
 //	loadgen -addr localhost:7070 -clients 16 -requests 64 -verify > run.json
 //	loadgen -addr localhost:7070 -service mandel -clients 8
+//
+// Against a cluster, -addr takes a comma-separated node list; clients spread
+// across the nodes, follow TRedirect verdicts to tenant owners, fail over
+// when a node dies mid-stream, and the report adds per-node throughput:
+//
+//	loadgen -addr host1:7070,host2:7070,host3:7070 -verify > cluster.json
 package main
 
 import (
@@ -11,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"streamgpu/internal/loadgen"
@@ -18,7 +25,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:7070", "streamd address")
+	addr := flag.String("addr", "localhost:7070", "streamd address, or a comma-separated cluster node list")
 	service := flag.String("service", "dedup", "target service: dedup or mandel")
 	clients := flag.Int("clients", 8, "closed-loop client connections")
 	requests := flag.Int("requests", 32, "requests per client")
@@ -48,8 +55,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
 	rep, err := loadgen.Run(loadgen.Config{
-		Addr:        *addr,
+		Addrs:       addrs,
 		Service:     svc,
 		Clients:     *clients,
 		Requests:    *requests,

@@ -7,6 +7,15 @@
 //	streamd -addr :7070 -gpu -fault-kernel 0.01     # GPU path with faults
 //	streamd -tenant-weights default:4,9:1:2.5e5 -default-deadline 100ms
 //	streamd -gpu -gpus 4 -quarantine-threshold 0.5  # health-aware device pool
+//
+// With -cluster, streamd runs as one node of a consistent-hash sharded
+// cluster (internal/cluster): tenants are placed on nodes by a seeded ring,
+// SWIM-style gossip tracks membership, misplaced connections are redirected
+// (or, with -forward, proxied) to their owner, and the dedup block index is
+// shared cluster-wide. Start the first node bare and point the others at it:
+//
+//	streamd -cluster -addr :7070 -advertise host1:7070
+//	streamd -cluster -addr :7070 -advertise host2:7070 -join host1:7070
 package main
 
 import (
@@ -17,9 +26,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"streamgpu/internal/cluster"
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/health"
@@ -45,6 +56,15 @@ func main() {
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none on the wire (0 = off)")
 	gpus := flag.Int("gpus", 1, "gpu: simulated device pool size")
 	quarThreshold := flag.Float64("quarantine-threshold", 0, "gpu: fault rate over the health window that quarantines a device (0 = default 0.5)")
+	clusterMode := flag.Bool("cluster", false, "run as a cluster node (consistent-hash sharding + gossip membership)")
+	join := flag.String("join", "", "cluster: comma-separated seed node addresses to gossip with")
+	advertise := flag.String("advertise", "", "cluster: address peers and clients reach this node at (default: the listener's)")
+	forward := flag.Bool("forward", false, "cluster: proxy misplaced connections to their owner instead of redirecting")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "cluster: virtual nodes per member on the ring")
+	ringSeed := flag.Int64("ring-seed", 0, "cluster: ring layout seed (must match across nodes)")
+	gossipInterval := flag.Duration("gossip-interval", 200*time.Millisecond, "cluster: membership probe period")
+	nodeFaultSeed := flag.Int64("node-fault-seed", 0, "cluster: node-level fault injector seed")
+	nodeKillAfter := flag.Int("node-kill-after", 0, "cluster: crash this node after N accepted connections/gossip ops (failover drills)")
 	flag.Parse()
 
 	table, err := qos.ParseTable(*tenantWeights)
@@ -58,7 +78,7 @@ func main() {
 		fmt.Printf("serving metrics on http://%s/metrics\n", msrv.Addr)
 	}
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		MaxInflight: *maxInflight,
 		Linger:      *linger,
 		Workers:     *workers,
@@ -75,15 +95,53 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		Devices:         *gpus,
 		Health:          health.Config{Threshold: *quarThreshold},
-	})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *clusterMode {
+		var seeds []string
+		for _, a := range strings.Split(*join, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				seeds = append(seeds, a)
+			}
+		}
+		node := cluster.NewNode(cluster.Config{
+			Addr:           *addr,
+			Advertise:      *advertise,
+			Join:           seeds,
+			Forward:        *forward,
+			VNodes:         *vnodes,
+			RingSeed:       *ringSeed,
+			GossipInterval: *gossipInterval,
+			Faults:         fault.Config{Seed: *nodeFaultSeed, KillAfterOps: *nodeKillAfter},
+			Server:         scfg,
+			Metrics:        metrics,
+		})
+		check(node.Start())
+		fmt.Printf("streamd cluster node %s (join %q, forward %v)\n", node.Addr(), *join, *forward)
+		select {
+		case s := <-sig:
+			fmt.Printf("streamd: %v — stopping node\n", s)
+			check(node.Close())
+			return
+		case <-node.Dead():
+			// The node-level fault injector (or an internal crash) killed the
+			// node: exit like the process died, so supervisors restart it.
+			node.Close()
+			fmt.Fprintln(os.Stderr, "streamd: node died (fault injection)")
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(scfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	check(err)
 	fmt.Printf("streamd listening on %s (max-inflight %d, linger %v, gpu %v)\n",
 		ln.Addr(), *maxInflight, *linger, *gpuRT)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -1,0 +1,9 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"streamgpu/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.Main(m) }

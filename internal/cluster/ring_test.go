@@ -1,0 +1,136 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamgpu/internal/cluster"
+	"streamgpu/internal/sha1x"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministic: the ring layout is a pure function of (seed,
+// vnodes, members) — member order must not matter, and every node building
+// from the same inputs must agree on every owner.
+func TestRingDeterministic(t *testing.T) {
+	ms := members(5)
+	a := cluster.NewRing(42, 64, ms)
+	shuffled := append([]string(nil), ms...)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := cluster.NewRing(42, 64, shuffled)
+	for tenant := uint32(0); tenant < 10000; tenant++ {
+		if a.OwnerTenant(tenant) != b.OwnerTenant(tenant) {
+			t.Fatalf("tenant %d: owner differs across member orderings", tenant)
+		}
+	}
+	var h [sha1x.Size]byte
+	for i := 0; i < 1000; i++ {
+		h[0], h[1], h[2] = byte(i), byte(i>>8), byte(i*7)
+		if a.OwnerHash(h) != b.OwnerHash(h) {
+			t.Fatalf("hash %d: owner differs across member orderings", i)
+		}
+	}
+	// A different seed must produce a different placement (sanity that the
+	// seed actually participates).
+	c := cluster.NewRing(43, 64, ms)
+	same := 0
+	for tenant := uint32(0); tenant < 1000; tenant++ {
+		if a.OwnerTenant(tenant) == c.OwnerTenant(tenant) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seed does not affect placement")
+	}
+}
+
+// TestRingBalance: with the default vnode count no member's tenant share
+// may be wildly off the fair share. The bound is loose (vnode placement has
+// real variance) but pins that virtual nodes are doing their job.
+func TestRingBalance(t *testing.T) {
+	const tenants = 20000
+	for _, n := range []int{2, 3, 5, 8} {
+		r := cluster.NewRing(7, 0, members(n))
+		counts := make(map[string]int)
+		for tenant := uint32(0); tenant < tenants; tenant++ {
+			counts[r.OwnerTenant(tenant)]++
+		}
+		fair := tenants / n
+		for m, c := range counts {
+			if c < fair/3 || c > fair*3 {
+				t.Errorf("n=%d: member %s owns %d of %d tenants (fair %d)", n, m, c, tenants, fair)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members own tenants", n, len(counts))
+		}
+	}
+}
+
+// TestRingRebalanceProperty is the consistent-hashing contract: adding a
+// member only moves keys TO the new member, removing one only moves keys
+// FROM it, and the moved fraction stays near 1/n. This is what makes
+// membership churn cheap — everything else stays put.
+func TestRingRebalanceProperty(t *testing.T) {
+	const tenants = 8000
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(6)
+		seed := rng.Int63()
+		ms := members(n + 1)
+		before := cluster.NewRing(seed, 0, ms[:n])
+
+		// Join: add member ms[n].
+		after := cluster.NewRing(seed, 0, ms)
+		moved := 0
+		for tenant := uint32(0); tenant < tenants; tenant++ {
+			ob, oa := before.OwnerTenant(tenant), after.OwnerTenant(tenant)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != ms[n] {
+				t.Fatalf("trial %d: join moved tenant %d from %s to %s (not the joiner)", trial, tenant, ob, oa)
+			}
+		}
+		// Expected fraction 1/(n+1); allow 3x for vnode variance.
+		if limit := 3 * tenants / (n + 1); moved > limit {
+			t.Errorf("trial %d: join moved %d of %d tenants (expected ~%d, limit %d)",
+				trial, moved, tenants, tenants/(n+1), limit)
+		}
+
+		// Leave: drop a random original member from the ring.
+		gone := ms[rng.Intn(n)]
+		var rest []string
+		for _, m := range ms[:n] {
+			if m != gone {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := cluster.NewRing(seed, 0, rest)
+		moved = 0
+		for tenant := uint32(0); tenant < tenants; tenant++ {
+			ob, oa := before.OwnerTenant(tenant), shrunk.OwnerTenant(tenant)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if ob != gone {
+				t.Fatalf("trial %d: leave moved tenant %d owned by %s (not the leaver)", trial, tenant, ob)
+			}
+		}
+		if limit := 3 * tenants / n; moved > limit {
+			t.Errorf("trial %d: leave moved %d of %d tenants (limit %d)", trial, moved, tenants, limit)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"sync"
+
+	"streamgpu/internal/sha1x"
+	"streamgpu/internal/telemetry"
+)
+
+// Store is the cluster-wide content-addressed block index. The sha1 key
+// space is partitioned across nodes by the ring (OwnerHash); each node keeps
+// the authoritative seen-set for its partition plus a local cache of
+// everything it has observed. It implements dedup.BlockStore, so a server
+// plugged into it answers "have we seen this block?" cluster-wide instead of
+// per-node, and dedup.CompSource/CompSink, so a block compressed once on any
+// node ships its compressed body to later sighters instead of being
+// recompressed.
+//
+// Correctness does not depend on the store at all: per-session dedup.Writer
+// makes the authoritative stream-order decision, LZSS is deterministic, and
+// content addressing keys on the raw bytes — so a lost RPC, a stale ring, or
+// a cold new owner only costs duplicate compression work, never archive
+// bytes. That is what lets the RPC paths fail open (treat as first) with no
+// recovery protocol.
+type Store struct {
+	self string
+	// ownerOf maps a hash to its partition owner under the current ring;
+	// swapped by the node on membership change.
+	ownerOf func(h [sha1x.Size]byte) string
+	// rpc issues one TStore request to addr and returns the response payload.
+	rpc func(addr string, req []byte) ([]byte, error)
+
+	mu     sync.Mutex
+	seen   map[[sha1x.Size]byte]struct{} // blocks known to the cluster (local view)
+	blocks map[[sha1x.Size]byte][]byte   // compressed bodies cached locally
+
+	lookupLocal  *telemetry.Counter // duplicate known before asking anyone
+	lookupRemote *telemetry.Counter // duplicate discovered via a partition owner
+	lookupFirst  *telemetry.Counter // cluster-wide first sighting
+	lookupFailed *telemetry.Counter // owner unreachable; degraded to first
+	fetchHit     *telemetry.Counter
+	fetchMiss    *telemetry.Counter
+}
+
+// NewStore builds a store for node self. ownerOf and rpc may be updated
+// before the node starts serving; a nil ownerOf treats every hash as
+// self-owned (single-node mode).
+func NewStore(self string, reg *telemetry.Registry) *Store {
+	return &Store{
+		self:         self,
+		seen:         make(map[[sha1x.Size]byte]struct{}),
+		blocks:       make(map[[sha1x.Size]byte][]byte),
+		lookupLocal:  reg.Counter("cluster_store_lookups_total", telemetry.Labels{"result": "local"}),
+		lookupRemote: reg.Counter("cluster_store_lookups_total", telemetry.Labels{"result": "remote"}),
+		lookupFirst:  reg.Counter("cluster_store_lookups_total", telemetry.Labels{"result": "first"}),
+		lookupFailed: reg.Counter("cluster_store_lookups_total", telemetry.Labels{"result": "degraded"}),
+		fetchHit:     reg.Counter("cluster_store_fetches_total", telemetry.Labels{"result": "hit"}),
+		fetchMiss:    reg.Counter("cluster_store_fetches_total", telemetry.Labels{"result": "miss"}),
+	}
+}
+
+// Bind installs the routing hooks. Called before serving and again whenever
+// the ring changes (Node holds the store lock's peer, so swaps are ordered
+// with lookups).
+func (s *Store) Bind(ownerOf func(h [sha1x.Size]byte) string, rpc func(addr string, req []byte) ([]byte, error)) {
+	s.mu.Lock()
+	s.ownerOf = ownerOf
+	s.rpc = rpc
+	s.mu.Unlock()
+}
+
+// Blocks reports the local cache size (for the cluster_store_blocks gauge).
+func (s *Store) Blocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// RemoteHits reports cluster-level duplicate discoveries (test hook).
+func (s *Store) RemoteHits() int64 { return s.lookupRemote.Value() }
+
+// TStore RPC subtypes (payload[0] of a TStore frame).
+const (
+	storeQuery     = 1 // req: 20N hashes → resp: N known-bytes (marks unknowns seen)
+	storeQueryResp = 2
+	storeFetch     = 3 // req: one hash → resp: known-byte + compressed body
+	storeFetchResp = 4
+	storePut       = 5 // req: one hash + compressed body → resp: empty
+	storePutResp   = 6
+)
+
+// FirstSightings implements dedup.BlockStore: dst[i] is true iff hashes[i]
+// is a cluster-wide first sighting. Owned hashes are resolved (and reserved)
+// under the local lock; remote-owned unknowns are batched into one Query RPC
+// per owner. The owner marks queried unknowns as seen atomically, so exactly
+// one node cluster-wide wins each first sighting even when two nodes query
+// concurrently. An unreachable owner degrades that batch to "first" — we
+// compress locally and lose nothing but the shortcut.
+func (s *Store) FirstSightings(hashes [][sha1x.Size]byte, dst []bool) {
+	type pending struct {
+		idx    []int
+		hashes [][sha1x.Size]byte
+	}
+	var remote map[string]*pending
+
+	s.mu.Lock()
+	ownerOf, rpc := s.ownerOf, s.rpc
+	for i, h := range hashes {
+		if _, ok := s.seen[h]; ok {
+			dst[i] = false
+			s.lookupLocal.Inc()
+			continue
+		}
+		owner := s.self
+		if ownerOf != nil {
+			owner = ownerOf(h)
+		}
+		if owner == s.self || owner == "" || rpc == nil {
+			s.seen[h] = struct{}{}
+			dst[i] = true
+			s.lookupFirst.Inc()
+			continue
+		}
+		if remote == nil {
+			remote = make(map[string]*pending)
+		}
+		p := remote[owner]
+		if p == nil {
+			p = &pending{}
+			remote[owner] = p
+		}
+		p.idx = append(p.idx, i)
+		p.hashes = append(p.hashes, h)
+	}
+	s.mu.Unlock()
+
+	for owner, p := range remote {
+		req := make([]byte, 1, 1+len(p.hashes)*sha1x.Size)
+		req[0] = storeQuery
+		for _, h := range p.hashes {
+			req = append(req, h[:]...)
+		}
+		resp, err := rpc(owner, req)
+		if err != nil || len(resp) < 1+len(p.hashes) || resp[0] != storeQueryResp {
+			// Fail open: claim the sighting locally. Worst case two nodes
+			// both compress the block; the archives are unaffected.
+			s.mu.Lock()
+			for _, i := range p.idx {
+				s.seen[hashes[i]] = struct{}{}
+				dst[i] = true
+			}
+			s.mu.Unlock()
+			s.lookupFailed.Add(int64(len(p.idx)))
+			continue
+		}
+		known := resp[1:]
+		s.mu.Lock()
+		for j, i := range p.idx {
+			s.seen[hashes[i]] = struct{}{}
+			if known[j] == 1 {
+				dst[i] = false
+				s.lookupRemote.Inc()
+			} else {
+				dst[i] = true
+				s.lookupFirst.Inc()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PublishComp implements dedup.CompSink: cache the compressed body locally
+// and push it to the partition owner so other nodes' fetches find it. comp
+// is only valid during the call (batch arenas recycle), so it is copied.
+func (s *Store) PublishComp(h [sha1x.Size]byte, comp []byte) {
+	body := append([]byte(nil), comp...)
+	s.mu.Lock()
+	if _, ok := s.blocks[h]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.blocks[h] = body
+	ownerOf, rpc := s.ownerOf, s.rpc
+	s.mu.Unlock()
+
+	owner := s.self
+	if ownerOf != nil {
+		owner = ownerOf(h)
+	}
+	if owner == s.self || owner == "" || rpc == nil {
+		return
+	}
+	req := make([]byte, 1, 1+sha1x.Size+len(body))
+	req[0] = storePut
+	req = append(req, h[:]...)
+	req = append(req, body...)
+	// Best-effort: a lost put only means later fetches miss and recompress.
+	_, _ = rpc(owner, req)
+}
+
+// FetchComp implements dedup.CompSource: return the compressed body of a
+// block some node already compressed. Local cache first, then the partition
+// owner. A miss (reservation won elsewhere but the body not yet published)
+// returns ok=false and the caller compresses inline.
+func (s *Store) FetchComp(h [sha1x.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	if body, ok := s.blocks[h]; ok {
+		s.mu.Unlock()
+		s.fetchHit.Inc()
+		return body, true
+	}
+	ownerOf, rpc := s.ownerOf, s.rpc
+	s.mu.Unlock()
+
+	owner := s.self
+	if ownerOf != nil {
+		owner = ownerOf(h)
+	}
+	if owner == s.self || owner == "" || rpc == nil {
+		s.fetchMiss.Inc()
+		return nil, false
+	}
+	req := make([]byte, 1, 1+sha1x.Size)
+	req[0] = storeFetch
+	req = append(req, h[:]...)
+	resp, err := rpc(owner, req)
+	if err != nil || len(resp) < 2 || resp[0] != storeFetchResp || resp[1] != 1 {
+		s.fetchMiss.Inc()
+		return nil, false
+	}
+	body := append([]byte(nil), resp[2:]...)
+	s.mu.Lock()
+	if _, ok := s.blocks[h]; !ok {
+		s.blocks[h] = body
+	}
+	s.mu.Unlock()
+	s.fetchHit.Inc()
+	return body, true
+}
+
+// HandleRPC serves one TStore request payload from a peer and returns the
+// response payload. Unknown or malformed requests return an empty response,
+// which callers treat as failure (and fail open).
+func (s *Store) HandleRPC(req []byte) []byte {
+	if len(req) < 1 {
+		return nil
+	}
+	switch req[0] {
+	case storeQuery:
+		body := req[1:]
+		if len(body)%sha1x.Size != 0 {
+			return nil
+		}
+		n := len(body) / sha1x.Size
+		resp := make([]byte, 1+n)
+		resp[0] = storeQueryResp
+		var h [sha1x.Size]byte
+		s.mu.Lock()
+		for i := 0; i < n; i++ {
+			copy(h[:], body[i*sha1x.Size:])
+			if _, ok := s.seen[h]; ok {
+				resp[1+i] = 1
+			} else {
+				// Reservation: the querier is about to compress this block;
+				// record it so the next asker sees a duplicate.
+				s.seen[h] = struct{}{}
+			}
+		}
+		s.mu.Unlock()
+		return resp
+	case storeFetch:
+		if len(req) < 1+sha1x.Size {
+			return nil
+		}
+		var h [sha1x.Size]byte
+		copy(h[:], req[1:])
+		s.mu.Lock()
+		body, ok := s.blocks[h]
+		s.mu.Unlock()
+		resp := make([]byte, 2, 2+len(body))
+		resp[0] = storeFetchResp
+		if ok {
+			resp[1] = 1
+			resp = append(resp, body...)
+		}
+		return resp
+	case storePut:
+		if len(req) < 1+sha1x.Size {
+			return nil
+		}
+		var h [sha1x.Size]byte
+		copy(h[:], req[1:])
+		body := append([]byte(nil), req[1+sha1x.Size:]...)
+		s.mu.Lock()
+		if _, ok := s.blocks[h]; !ok {
+			s.blocks[h] = body
+		}
+		s.seen[h] = struct{}{}
+		s.mu.Unlock()
+		return []byte{storePutResp}
+	default:
+		return nil
+	}
+}

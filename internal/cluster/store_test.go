@@ -1,0 +1,154 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"streamgpu/internal/cluster"
+	"streamgpu/internal/sha1x"
+	"streamgpu/internal/telemetry"
+)
+
+// testCluster wires N Stores together in-process: ownership comes from a
+// real ring over the store names, and the "network" is a direct call into
+// the owner's HandleRPC. fail simulates a severed link from one node.
+type testCluster struct {
+	stores map[string]*cluster.Store
+	ring   *cluster.Ring
+	fail   map[string]bool // node whose outbound RPCs error
+}
+
+func newTestCluster(t *testing.T, names ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{stores: make(map[string]*cluster.Store), fail: make(map[string]bool)}
+	tc.ring = cluster.NewRing(3, 0, names)
+	for _, name := range names {
+		tc.stores[name] = cluster.NewStore(name, telemetry.New())
+	}
+	for _, name := range names {
+		self := name
+		tc.stores[name].Bind(
+			tc.ring.OwnerHash,
+			func(addr string, req []byte) ([]byte, error) {
+				if tc.fail[self] {
+					return nil, errors.New("link down")
+				}
+				return tc.stores[addr].HandleRPC(req), nil
+			},
+		)
+	}
+	return tc
+}
+
+func hashOf(b []byte) [sha1x.Size]byte { return sha1x.Sum20(b) }
+
+// sightings is a test convenience over the dst-slice API.
+func sightings(s *cluster.Store, hs [][sha1x.Size]byte) []bool {
+	dst := make([]bool, len(hs))
+	s.FirstSightings(hs, dst)
+	return dst
+}
+
+// pickHashes returns count hashes owned by owner according to the ring.
+func (tc *testCluster) pickHashes(owner string, count int) [][sha1x.Size]byte {
+	var out [][sha1x.Size]byte
+	for i := 0; len(out) < count; i++ {
+		h := hashOf([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		if tc.ring.OwnerHash(h) == owner {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// TestStoreReservation: the first node to query a hash wins the first
+// sighting; every later query — from any node, including the first —
+// reports it as already seen.
+func TestStoreReservation(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	hs := tc.pickHashes("c", 4)
+
+	first := sightings(tc.stores["a"], hs)
+	for i, f := range first {
+		if !f {
+			t.Fatalf("hash %d: node a should win the first sighting", i)
+		}
+	}
+	for _, name := range []string{"b", "a"} {
+		again := sightings(tc.stores[name], hs)
+		for i, f := range again {
+			if f {
+				t.Fatalf("hash %d: node %s saw a hash already reserved", i, name)
+			}
+		}
+	}
+	// a re-resolves locally (it cached the answers), but b learned of the
+	// reservation over the wire — that is the cluster-wide remote hit.
+	if tc.stores["b"].RemoteHits() == 0 {
+		t.Fatal("node b's query of a-reserved hashes should count remote hits")
+	}
+	if tc.stores["a"].RemoteHits() != 0 {
+		t.Fatal("node a should resolve its re-query from the local seen set")
+	}
+}
+
+// TestStoreSelfOwned: hashes a node itself owns never leave the node — the
+// reservation is purely local, and other nodes asking later get a dup.
+func TestStoreSelfOwned(t *testing.T) {
+	tc := newTestCluster(t, "a", "b")
+	hs := tc.pickHashes("a", 3)
+	tc.fail["a"] = true // a must not need the network for its own hashes
+	if first := sightings(tc.stores["a"], hs); !first[0] || !first[1] || !first[2] {
+		t.Fatal("self-owned hashes should be first sightings")
+	}
+	tc.fail["a"] = false
+	if first := sightings(tc.stores["b"], hs); first[0] || first[1] || first[2] {
+		t.Fatal("b should see a's reservation")
+	}
+}
+
+// TestStorePublishFetch: compressed bytes published through one node are
+// fetchable from another, byte-identical, and land in the fetcher's local
+// cache (second fetch works with the network down).
+func TestStorePublishFetch(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	payload := []byte("compressed block body")
+	h := hashOf(payload)
+
+	tc.stores["a"].PublishComp(h, payload)
+	got, ok := tc.stores["b"].FetchComp(h)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("fetch via b: ok=%v bytes equal=%v", ok, bytes.Equal(got, payload))
+	}
+	tc.fail["b"] = true
+	got, ok = tc.stores["b"].FetchComp(h)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("second fetch should be served from b's local cache")
+	}
+	if _, ok := tc.stores["c"].FetchComp(hashOf([]byte("absent"))); ok {
+		t.Fatal("fetch of unpublished hash should miss")
+	}
+}
+
+// TestStoreFailOpen: when the owner is unreachable the store degrades to
+// local-first semantics — every unknown hash reports first=true so the
+// caller uploads it. Correctness is preserved; only dedup quality drops.
+func TestStoreFailOpen(t *testing.T) {
+	tc := newTestCluster(t, "a", "b")
+	hs := tc.pickHashes("b", 3)
+	tc.fail["a"] = true
+	first := sightings(tc.stores["a"], hs)
+	for i, f := range first {
+		if !f {
+			t.Fatalf("hash %d: degraded query must fail open to first=true", i)
+		}
+	}
+	// The same hashes asked again while still degraded: now locally seen.
+	first = sightings(tc.stores["a"], hs)
+	for i, f := range first {
+		if f {
+			t.Fatalf("hash %d: locally-seen hash reported as first while degraded", i)
+		}
+	}
+}

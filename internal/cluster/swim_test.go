@@ -1,0 +1,361 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamgpu/internal/cluster"
+)
+
+// step is one event fed to the detector under test: a gossiped update, a
+// probe outcome, or the passage of time (Tick).
+type step struct {
+	// exactly one of these is set
+	absorb  *cluster.Update
+	probe   *probeStep
+	advance time.Duration // advance the virtual clock, then Tick
+
+	// expectations after the step (checked when member != "")
+	member string
+	state  cluster.State
+	inc    uint32
+}
+
+type probeStep struct {
+	target string
+	alive  bool
+}
+
+// TestDetectorTransitions drives the SWIM state machine through its
+// transition table with a virtual clock: alive→suspect→dead on probe
+// failure and timeout, refutation by incarnation, and the precedence rules
+// between gossiped claims.
+func TestDetectorTransitions(t *testing.T) {
+	const timeout = 100 * time.Millisecond
+	up := func(m string, s cluster.State, inc uint32) *cluster.Update {
+		return &cluster.Update{Member: m, State: s, Inc: inc}
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"probe failure suspects", []step{
+			{absorb: up("b", cluster.Alive, 0), member: "b", state: cluster.Alive, inc: 0},
+			{probe: &probeStep{"b", false}, member: "b", state: cluster.Suspect, inc: 0},
+		}},
+		{"suspect times out to dead", []step{
+			{absorb: up("b", cluster.Alive, 0)},
+			{probe: &probeStep{"b", false}, member: "b", state: cluster.Suspect},
+			{advance: timeout + time.Millisecond, member: "b", state: cluster.Dead, inc: 0},
+		}},
+		{"suspect refreshed before timeout stays alive", []step{
+			{absorb: up("b", cluster.Alive, 0)},
+			{probe: &probeStep{"b", false}, member: "b", state: cluster.Suspect},
+			{advance: timeout / 2},
+			{probe: &probeStep{"b", true}, member: "b", state: cluster.Alive, inc: 0},
+			{advance: timeout, member: "b", state: cluster.Alive, inc: 0},
+		}},
+		{"alive refutes suspicion only with higher incarnation", []step{
+			{absorb: up("b", cluster.Alive, 0)},
+			{probe: &probeStep{"b", false}, member: "b", state: cluster.Suspect, inc: 0},
+			{absorb: up("b", cluster.Alive, 0), member: "b", state: cluster.Suspect, inc: 0},
+			{absorb: up("b", cluster.Alive, 1), member: "b", state: cluster.Alive, inc: 1},
+		}},
+		{"suspect overrides alive at same incarnation", []step{
+			{absorb: up("b", cluster.Alive, 2), member: "b", state: cluster.Alive, inc: 2},
+			{absorb: up("b", cluster.Suspect, 2), member: "b", state: cluster.Suspect, inc: 2},
+			{absorb: up("b", cluster.Suspect, 1), member: "b", state: cluster.Suspect, inc: 2},
+		}},
+		{"dead overrides alive and suspect", []step{
+			{absorb: up("b", cluster.Alive, 3)},
+			{absorb: up("b", cluster.Dead, 3), member: "b", state: cluster.Dead, inc: 3},
+			{absorb: up("b", cluster.Suspect, 3), member: "b", state: cluster.Dead, inc: 3},
+		}},
+		{"stale dead claim is ignored", []step{
+			{absorb: up("b", cluster.Alive, 5)},
+			{absorb: up("b", cluster.Dead, 4), member: "b", state: cluster.Alive, inc: 5},
+		}},
+		{"higher incarnation resurrects the dead (rejoin)", []step{
+			{absorb: up("b", cluster.Alive, 0)},
+			{absorb: up("b", cluster.Dead, 0), member: "b", state: cluster.Dead},
+			{absorb: up("b", cluster.Alive, 1), member: "b", state: cluster.Alive, inc: 1},
+		}},
+		{"direct probe success resurrects the dead", []step{
+			{absorb: up("b", cluster.Alive, 0)},
+			{absorb: up("b", cluster.Dead, 0), member: "b", state: cluster.Dead},
+			{probe: &probeStep{"b", true}, member: "b", state: cluster.Alive, inc: 0},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := cluster.NewDetector(cluster.DetectorConfig{Self: "a", SuspectTimeout: timeout})
+			now := time.Unix(1000, 0)
+			for i, s := range tc.steps {
+				switch {
+				case s.absorb != nil:
+					d.Absorb([]cluster.Update{*s.absorb}, now)
+				case s.probe != nil:
+					d.ProbeResult(s.probe.target, s.probe.alive, now)
+				default:
+					now = now.Add(s.advance)
+					d.Tick(now)
+				}
+				if s.member == "" {
+					continue
+				}
+				st, inc, ok := d.StateOf(s.member)
+				if !ok {
+					t.Fatalf("step %d: member %s unknown", i, s.member)
+				}
+				if st != s.state || inc != s.inc {
+					t.Fatalf("step %d: %s is %s@%d, want %s@%d", i, s.member, st, inc, s.state, s.inc)
+				}
+			}
+		})
+	}
+}
+
+// TestSelfRefutation: a claim that self is suspect or dead bumps the local
+// incarnation past the claim, so the refutation wins everywhere.
+func TestSelfRefutation(t *testing.T) {
+	d := cluster.NewDetector(cluster.DetectorConfig{Self: "a"})
+	now := time.Unix(1000, 0)
+	d.Absorb([]cluster.Update{{Member: "a", State: cluster.Suspect, Inc: 0}}, now)
+	if got := d.Incarnation(); got != 1 {
+		t.Fatalf("incarnation %d after suspect claim, want 1", got)
+	}
+	d.Absorb([]cluster.Update{{Member: "a", State: cluster.Dead, Inc: 5}}, now)
+	if got := d.Incarnation(); got != 6 {
+		t.Fatalf("incarnation %d after dead@5 claim, want 6", got)
+	}
+	// A stale claim below our incarnation needs no refutation.
+	d.Absorb([]cluster.Update{{Member: "a", State: cluster.Suspect, Inc: 2}}, now)
+	if got := d.Incarnation(); got != 6 {
+		t.Fatalf("incarnation %d after stale claim, want 6", got)
+	}
+	// And the refutation is what we gossip.
+	u := d.Updates()
+	if u[0].Member != "a" || u[0].State != cluster.Alive || u[0].Inc != 6 {
+		t.Fatalf("self update %+v, want alive@6", u[0])
+	}
+}
+
+// TestDetectorDeterministic: same seed and event order → same probe
+// sequence, which is what makes cluster tests reproducible.
+func TestDetectorDeterministic(t *testing.T) {
+	run := func() []string {
+		d := cluster.NewDetector(cluster.DetectorConfig{Self: "self", Seed: 77})
+		now := time.Unix(1000, 0)
+		var ups []cluster.Update
+		for i := 0; i < 5; i++ {
+			ups = append(ups, cluster.Update{Member: fmt.Sprintf("m%d", i), State: cluster.Alive})
+		}
+		d.Absorb(ups, now)
+		var seq []string
+		for i := 0; i < 20; i++ {
+			now = now.Add(time.Second)
+			m, ok := d.Tick(now)
+			if !ok {
+				t.Fatal("no probe target")
+			}
+			seq = append(seq, m)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// simNet is a virtual cluster for partition simulations: every node is a
+// pure Detector, the "network" is a reachability predicate, and time is a
+// shared virtual clock — no goroutines, no sockets, fully deterministic.
+type simNet struct {
+	names []string
+	det   map[string]*cluster.Detector
+	cut   func(a, b string) bool // true when the link a↔b is severed
+	now   time.Time
+}
+
+func newSimNet(n int, seed int64, timeout time.Duration) *simNet {
+	s := &simNet{det: make(map[string]*cluster.Detector), now: time.Unix(5000, 0)}
+	for i := 0; i < n; i++ {
+		s.names = append(s.names, fmt.Sprintf("n%d", i))
+	}
+	for i, name := range s.names {
+		d := cluster.NewDetector(cluster.DetectorConfig{Self: name, Seed: seed + int64(i), SuspectTimeout: timeout})
+		var ups []cluster.Update
+		for _, other := range s.names {
+			if other != name {
+				ups = append(ups, cluster.Update{Member: other, State: cluster.Alive})
+			}
+		}
+		d.Absorb(ups, s.now)
+		s.det[name] = d
+	}
+	s.cut = func(a, b string) bool { return false }
+	return s
+}
+
+// tick advances the virtual clock one gossip interval and runs one probe
+// round on every node: direct ping, then up to two indirect ping-reqs, with
+// full-table piggybacking on every successful exchange — the same protocol
+// Node speaks over TCP, minus the sockets.
+func (s *simNet) tick(interval time.Duration) {
+	s.now = s.now.Add(interval)
+	for _, name := range s.names {
+		d := s.det[name]
+		target, ok := d.Tick(s.now)
+		if !ok {
+			continue
+		}
+		alive := false
+		if !s.cut(name, target) {
+			s.exchange(name, target)
+			alive = true
+		} else {
+			for _, h := range d.IndirectTargets(target, 2) {
+				if s.cut(name, h) || s.cut(h, target) {
+					continue
+				}
+				// Helper relays the ping and vouches; the ack piggybacks the
+				// helper's table.
+				s.exchange(h, target)
+				s.exchange(name, h)
+				alive = true
+				break
+			}
+		}
+		d.ProbeResult(target, alive, s.now)
+	}
+}
+
+// exchange is one successful RPC: both ends absorb each other's tables.
+func (s *simNet) exchange(a, b string) {
+	ua, ub := s.det[a].Updates(), s.det[b].Updates()
+	s.det[a].Absorb(ub, s.now)
+	s.det[b].Absorb(ua, s.now)
+}
+
+// converged reports whether every node's active view equals want.
+func (s *simNet) converged(want []string) bool {
+	for _, name := range s.names {
+		if _, ok := contains(want, name); !ok {
+			continue // dead nodes' own views don't matter
+		}
+		got := s.det[name].Active()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func contains(list []string, s string) (int, bool) {
+	for i, v := range list {
+		if v == s {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// TestPartitionSimulation: sever {n0,n1} from {n2,n3,n4}; each side must
+// declare the other dead. Heal the link; the sides must rediscover each
+// other through the dead-member probe rotation and incarnation refutation.
+func TestPartitionSimulation(t *testing.T) {
+	const interval = 10 * time.Millisecond
+	const timeout = 40 * time.Millisecond
+	for seed := int64(0); seed < 3; seed++ {
+		s := newSimNet(5, 100+seed, timeout)
+		sideA := map[string]bool{"n0": true, "n1": true}
+
+		// Partition.
+		s.cut = func(a, b string) bool { return sideA[a] != sideA[b] }
+		for i := 0; i < 200; i++ {
+			s.tick(interval)
+			if s.sideConverged(t, sideA) {
+				break
+			}
+		}
+		if !s.sideConverged(t, sideA) {
+			t.Fatalf("seed %d: views did not converge to the partition after 200 ticks", seed)
+		}
+
+		// Heal.
+		s.cut = func(a, b string) bool { return false }
+		all := append([]string(nil), s.names...)
+		healed := false
+		for i := 0; i < 400; i++ {
+			s.tick(interval)
+			if s.converged(all) {
+				healed = true
+				break
+			}
+		}
+		if !healed {
+			t.Fatalf("seed %d: cluster did not reconverge after heal", seed)
+		}
+	}
+}
+
+// sideConverged reports whether every node's active view is exactly its own
+// partition side.
+func (s *simNet) sideConverged(t *testing.T, sideA map[string]bool) bool {
+	t.Helper()
+	for _, name := range s.names {
+		var want []string
+		for _, m := range s.names {
+			if sideA[m] == sideA[name] {
+				want = append(want, m)
+			}
+		}
+		got := s.det[name].Active()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPartitionMinority: a fully isolated single node suspects and buries
+// everyone, then finds its way back when the network returns.
+func TestPartitionMinority(t *testing.T) {
+	const interval = 10 * time.Millisecond
+	s := newSimNet(4, 55, 40*time.Millisecond)
+	s.cut = func(a, b string) bool { return a == "n3" || b == "n3" }
+	for i := 0; i < 200; i++ {
+		s.tick(interval)
+	}
+	if got := s.det["n3"].Active(); len(got) != 1 || got[0] != "n3" {
+		t.Fatalf("isolated node still sees %v", got)
+	}
+	for _, other := range []string{"n0", "n1", "n2"} {
+		if st, _, ok := s.det[other].StateOf("n3"); !ok || st != cluster.Dead {
+			t.Fatalf("%s sees n3 as %v, want dead", other, st)
+		}
+	}
+	s.cut = func(a, b string) bool { return false }
+	all := append([]string(nil), s.names...)
+	for i := 0; i < 400; i++ {
+		s.tick(interval)
+		if s.converged(all) {
+			return
+		}
+	}
+	t.Fatal("cluster did not reabsorb the isolated node")
+}

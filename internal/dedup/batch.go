@@ -137,7 +137,7 @@ func (b *Batch) HashBlocks() {
 
 // markFirsts runs the dedup stage: one batched store lookup fills
 // b.firsts[k] with whether block k's hash was seen here first.
-func (b *Batch) markFirsts(store *Store) {
+func (b *Batch) markFirsts(store BlockStore) {
 	n := b.NBlocks()
 	if cap(b.firsts) < n {
 		b.firsts = make([]bool, n)
@@ -182,6 +182,37 @@ func (b *Batch) compressFirsts(m *lzss.Matcher) {
 			b.Comp[k] = nil
 		}
 	}
+}
+
+// BlockStore is the duplicate-detection interface stage 3 consults: one
+// batched lookup records every hash and reports which were first sightings.
+// It is a processing-time hint — the archive Writer still makes the
+// authoritative stream-order decision — so an implementation may be a
+// process-local table (*Store) or span a whole cluster (internal/cluster's
+// content-addressed store) without affecting archive bytes.
+type BlockStore interface {
+	// FirstSightings records every hash and fills dst[i] with whether
+	// hashes[i] was new to the store. dst must be at least as long as hashes.
+	FirstSightings(hashes [][sha1x.Size]byte, dst []bool)
+}
+
+// CompSource is an optional BlockStore extension: a store that can supply
+// the compressed body of a previously published block, so a duplicate block
+// costs a lookup instead of a recompression. The returned slice must stay
+// valid and immutable after the call (implementations return stable copies).
+// Correctness does not depend on it — a miss just falls back to the archive
+// Writer's inline compression, and LZSS is deterministic, so archive bytes
+// are identical either way.
+type CompSource interface {
+	FetchComp(h [sha1x.Size]byte) ([]byte, bool)
+}
+
+// CompSink is the publishing half: a processor hands every block it
+// compressed to the sink so later sightings anywhere in the store's scope
+// can fetch instead of recompress. comp is only valid during the call
+// (batch arenas are recycled); implementations must copy.
+type CompSink interface {
+	PublishComp(h [sha1x.Size]byte, comp []byte)
 }
 
 // Store is the shared duplicate-detection table (stage 3). It is a

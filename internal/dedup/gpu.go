@@ -160,12 +160,17 @@ func gpuHashBatch(proc *des.Proc, st *gpu.Stream, dev *gpu.Device, b *Batch, opt
 // gpuCompressBatch fills b.Comp for the blocks this run sees first,
 // preferring the device match kernel and degrading to the CPU path on
 // device loss or an exhausted retry budget.
-func gpuCompressBatch(proc *des.Proc, st *gpu.Stream, dev *gpu.Device, b *Batch, store *Store, opt GPUOptions, rep *GPUReport) {
+func gpuCompressBatch(proc *des.Proc, st *gpu.Stream, dev *gpu.Device, b *Batch, store BlockStore, opt GPUOptions, rep *GPUReport) {
 	n := b.NBlocks()
 	b.Comp = make([][]byte, n)
+	if n == 0 {
+		return
+	}
+	isFirst := make([]bool, n)
+	store.FirstSightings(b.Hashes, isFirst)
 	var firsts []int
 	for k := 0; k < n; k++ {
-		if store.FirstSighting(b.Hashes[k]) {
+		if isFirst[k] {
 			firsts = append(firsts, k)
 		}
 	}

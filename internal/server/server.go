@@ -88,6 +88,12 @@ type Config struct {
 	// DeviceFaults, when set, overrides Faults per device — the chaos
 	// harness's hook for degrading one device mid-stream.
 	DeviceFaults func(dev int) fault.Config
+	// Store, when set, is shared by every session's dedup-hint stage instead
+	// of the default per-session table — the cluster layer injects its
+	// content-addressed store here so duplicate blocks dedup across sessions
+	// and nodes. Archive bytes are unaffected either way: each session's
+	// Writer still makes the authoritative stream-order decision.
+	Store dedup.BlockStore
 }
 
 func (c Config) maxInflight() int {
@@ -165,7 +171,8 @@ type Server struct {
 	ln       net.Listener
 	sessions map[*session]struct{}
 	draining bool
-	started  bool
+	started  bool // pipelines launched (Start)
+	serving  bool // accept loop claimed (Serve)
 
 	sessWG sync.WaitGroup
 	pipeWG sync.WaitGroup
@@ -227,20 +234,35 @@ func New(cfg Config) *Server {
 // chaos harness asserts quarantine and re-admission through it.
 func (s *Server) Health() *health.Scoreboard { return s.scores }
 
+// Start launches the resident pipelines without an accept loop. Serve calls
+// it implicitly; the cluster layer calls it directly because it owns the
+// listener and hands accepted connections in through ServeConn. Safe to call
+// more than once; only the first call starts anything.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.startPipelines()
+}
+
 // Serve accepts connections on ln and blocks until Shutdown completes (or
 // the listener fails for a reason other than shutdown). The resident
 // pipelines start on the first call.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.started {
+	if s.serving {
 		s.mu.Unlock()
 		return errors.New("server: Serve called twice")
 	}
-	s.started = true
+	s.serving = true
 	s.ln = ln
 	s.mu.Unlock()
 
-	s.startPipelines()
+	s.Start()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -265,6 +287,28 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.sessWG.Add(1)
 		go sess.run()
 	}
+}
+
+// ServeConn runs one already-accepted connection as a client session,
+// blocking until the session finishes; conn is closed on return. It reports
+// false when the server is draining (the connection is closed unserved).
+// This is the cluster layer's entry point: the node's accept loop routes the
+// connection by tenant ownership first and hands it here only when this node
+// is the owner.
+func (s *Server) ServeConn(conn net.Conn) bool {
+	s.Start()
+	sess := newSession(s, conn)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	s.sessWG.Add(1)
+	sess.run()
+	return true
 }
 
 // Shutdown drains the server: stop accepting, let sessions flush and their

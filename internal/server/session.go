@@ -78,7 +78,9 @@ type session struct {
 
 	// Archive state, touched only by the serial ordered sink (plus the read
 	// loop's final flush, which runs strictly after the last job drains).
-	store *dedup.Store
+	// store is per-session by default; a cluster node injects one shared
+	// content-addressed store through Config.Store.
+	store dedup.BlockStore
 	out   bytes.Buffer
 	dw    *dedup.Writer
 
@@ -92,12 +94,16 @@ type session struct {
 }
 
 func newSession(s *Server, conn net.Conn) *session {
+	store := s.cfg.Store
+	if store == nil {
+		store = dedup.NewStore()
+	}
 	sess := &session{
 		srv:     s,
 		conn:    conn,
 		fw:      wire.NewWriter(conn),
 		chunker: rabin.NewChunker(),
-		store:   dedup.NewStore(),
+		store:   store,
 		drained: make(chan struct{}),
 	}
 	sess.dw = dedup.NewWriter(&sess.out)

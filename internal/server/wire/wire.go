@@ -72,6 +72,20 @@ const (
 	// TError (server→client) reports a fatal session error; the payload is
 	// a human-readable message and the connection closes after it.
 	TError Type = 6
+	// TRedirect (server→client) is the cluster routing verdict: this node
+	// does not own the request's tenant, and the payload is a RejectInfo
+	// (reason ReasonRedirect) followed by the owning node's dial address.
+	// Clients re-dial the address and re-offer the request there; v1 clients
+	// never see it because single-node servers never send it.
+	TRedirect Type = 7
+	// TGossip (node→node) carries one SWIM membership message (ping, ack, or
+	// indirect ping request) between cluster nodes; the payload encoding is
+	// internal/cluster's.
+	TGossip Type = 8
+	// TStore (node→node) is one cluster-store RPC (hash query, block fetch,
+	// block put) between cluster nodes; the payload's first byte is the
+	// subtype, defined by internal/cluster.
+	TStore Type = 9
 )
 
 // String names the frame type.
@@ -89,6 +103,12 @@ func (t Type) String() string {
 		return "reject"
 	case TError:
 		return "error"
+	case TRedirect:
+		return "redirect"
+	case TGossip:
+		return "gossip"
+	case TStore:
+		return "store"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -178,6 +198,10 @@ const (
 	// ReasonThrottled: the tenant exhausted its own token bucket or fair
 	// share — other tenants are unaffected.
 	ReasonThrottled Reason = 4
+	// ReasonRedirect: the node answering does not own the request's tenant on
+	// the cluster's consistent-hash ring; the owning node's address follows
+	// the RejectInfo in the payload (TRedirect frames only).
+	ReasonRedirect Reason = 5
 )
 
 // String names the reject reason; used as the metrics label value.
@@ -193,6 +217,8 @@ func (r Reason) String() string {
 		return "quarantine"
 	case ReasonThrottled:
 		return "tenant-throttled"
+	case ReasonRedirect:
+		return "redirect"
 	}
 	return fmt.Sprintf("Reason(%d)", uint8(r))
 }
@@ -229,6 +255,26 @@ func ParseRejectInfo(payload []byte) (Reason, time.Duration) {
 		return reason, 0
 	}
 	return reason, time.Duration(d)
+}
+
+// AppendRedirectInfo encodes a TRedirect payload: a RejectInfo with reason
+// ReasonRedirect (the new reason byte; the retry-after hint tells the client
+// how long to wait before re-dialing when the ring is still converging)
+// followed by the owning node's dial address.
+func AppendRedirectInfo(dst []byte, retryAfter time.Duration, addr string) []byte {
+	dst = AppendRejectInfo(dst, ReasonRedirect, retryAfter)
+	return append(dst, addr...)
+}
+
+// ParseRedirectInfo decodes a TRedirect payload tolerantly, mirroring
+// ParseRejectInfo: a short payload yields an empty address (the client falls
+// back to its own node list), and the hint is clamped like a reject hint.
+func ParseRedirectInfo(payload []byte) (retryAfter time.Duration, addr string) {
+	_, retryAfter = ParseRejectInfo(payload)
+	if len(payload) > rejectInfoLen {
+		addr = string(payload[rejectInfoLen:])
+	}
+	return retryAfter, addr
 }
 
 // Protocol errors.
@@ -314,6 +360,38 @@ func Decode(b []byte) (Frame, int, error) {
 		f.Payload = b[prefixLen+hl : prefixLen+n]
 	}
 	return f, prefixLen + int(n), nil
+}
+
+// ReadRaw reads one complete frame — length prefix included — from r without
+// decoding it, enforcing the payload cap before allocating (<= 0 selects
+// DefaultMaxPayload). The cluster router uses it to inspect and then replay or
+// forward a frame byte-for-byte: the returned slice decodes with Decode and
+// writes back out verbatim. io.EOF is returned verbatim at a clean frame
+// boundary.
+func ReadRaw(r io.Reader, maxPayload int) ([]byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var pfx [prefixLen]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated length prefix: %v", ErrFrame, err)
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < headerLen {
+		return nil, fmt.Errorf("%w: declared length %d below header size", ErrFrame, n)
+	}
+	if int64(n)-headerLen > int64(maxPayload)+extLen {
+		return nil, fmt.Errorf("%w: payload %d exceeds cap %d", ErrTooLarge, n-headerLen, maxPayload)
+	}
+	raw := make([]byte, prefixLen+int(n))
+	copy(raw, pfx[:])
+	if _, err := io.ReadFull(r, raw[prefixLen:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame: %v", ErrFrame, err)
+	}
+	return raw, nil
 }
 
 // Writer serializes frames onto an io.Writer. Not safe for concurrent use;

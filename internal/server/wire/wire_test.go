@@ -252,3 +252,87 @@ func TestReaderHostileLengthNoAlloc(t *testing.T) {
 		t.Errorf("hostile length allocated %v objects per run", allocs)
 	}
 }
+
+func TestRedirectInfo(t *testing.T) {
+	for _, tc := range []struct {
+		after time.Duration
+		addr  string
+	}{
+		{0, "10.1.2.3:7070"},
+		{200 * time.Millisecond, "node-b.internal:9999"},
+		{time.Second, ""},
+	} {
+		p := AppendRedirectInfo(nil, tc.after, tc.addr)
+		after, addr := ParseRedirectInfo(p)
+		if after != tc.after || addr != tc.addr {
+			t.Errorf("round-trip (%v, %q) = (%v, %q)", tc.after, tc.addr, after, addr)
+		}
+	}
+	// A full TRedirect frame survives encode/decode with the payload intact,
+	// and pre-cluster frame types are untouched by the new type values.
+	f := Frame{Type: TRedirect, Svc: SvcDedup, Tenant: 7, Seq: 3,
+		Payload: AppendRedirectInfo(nil, 100*time.Millisecond, "127.0.0.1:7071")}
+	enc := Append(nil, f)
+	got, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, addr := ParseRedirectInfo(got.Payload)
+	if got.Type != TRedirect || addr != "127.0.0.1:7071" || after != 100*time.Millisecond {
+		t.Errorf("decoded redirect = %+v (after %v, addr %q)", got, after, addr)
+	}
+	// Tolerant parses: empty and truncated payloads yield zero values.
+	if after, addr := ParseRedirectInfo(nil); after != 0 || addr != "" {
+		t.Errorf("empty payload = (%v, %q)", after, addr)
+	}
+	if after, addr := ParseRedirectInfo(enc[:3]); after != 0 && addr != "" {
+		t.Errorf("truncated payload = (%v, %q)", after, addr)
+	}
+}
+
+func TestReadRaw(t *testing.T) {
+	a := Frame{Type: TData, Svc: SvcDedup, Tenant: 1, Seq: 1, Payload: []byte("first")}
+	b := Frame{Type: TGossip, Seq: 2, Payload: []byte("membership table")}
+	stream := Append(Append(nil, a), b)
+	r := bytes.NewReader(stream)
+
+	rawA, err := ReadRaw(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, Append(nil, a)) {
+		t.Fatal("raw frame bytes differ from the encoding")
+	}
+	gotA, n, err := Decode(rawA)
+	if err != nil || n != len(rawA) {
+		t.Fatalf("decode raw: n=%d err=%v", n, err)
+	}
+	if gotA.Type != TData || !bytes.Equal(gotA.Payload, a.Payload) {
+		t.Fatalf("decoded %+v", gotA)
+	}
+	rawB, err := ReadRaw(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB, _, err := Decode(rawB); err != nil || gotB.Type != TGossip || gotB.Seq != 2 {
+		t.Fatalf("second frame: %+v err=%v", gotB, err)
+	}
+	// Clean boundary → io.EOF verbatim.
+	if _, err := ReadRaw(r, 0); err != io.EOF {
+		t.Fatalf("at stream end: %v, want io.EOF", err)
+	}
+	// Mid-frame truncation is a framing error, not EOF.
+	tr := bytes.NewReader(stream[:len(stream)-3])
+	if _, err := ReadRaw(tr, 0); err != nil {
+		t.Fatalf("first frame of truncated stream: %v", err)
+	}
+	if _, err := ReadRaw(tr, 0); err == nil || err == io.EOF || !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated frame: %v, want ErrFrame", err)
+	}
+	// A hostile length never allocates past the cap.
+	hostile := make([]byte, 4)
+	binary.BigEndian.PutUint32(hostile, 1<<31)
+	if _, err := ReadRaw(bytes.NewReader(hostile), 1<<10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("hostile length: %v, want ErrTooLarge", err)
+	}
+}
