@@ -10,7 +10,14 @@
 // drops more than -max-regress below the scaled baseline, or when its
 // allocs/op exceeds the baseline count by more than -alloc-slack. Entries
 // with a negative allocs/op on either side are alloc-exempt (the suite
-// marks multi-goroutine measurements that way).
+// marks multi-goroutine measurements that way). Entries with unit "x"
+// (dimensionless ratios such as dedup_spar_speedup) skip calib scaling.
+//
+// Repeatable -require name:value flags assert absolute floors on the fresh
+// report — e.g. -require dedup_spar_speedup:1.05 makes the gate fail unless
+// the parallel pipeline actually beats the sequential one:
+//
+//	go run ./cmd/benchdiff -require dedup_spar_speedup:1.05
 package main
 
 import (
@@ -18,15 +25,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"streamgpu/internal/bench"
 )
+
+// requireFlag collects repeatable -require name:value assertions.
+type requireFlag struct {
+	names  []string
+	floors []float64
+}
+
+func (r *requireFlag) String() string {
+	var parts []string
+	for i := range r.names {
+		parts = append(parts, fmt.Sprintf("%s:%g", r.names[i], r.floors[i]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *requireFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("want name:value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad threshold in %q: %w", s, err)
+	}
+	r.names = append(r.names, name)
+	r.floors = append(r.floors, f)
+	return nil
+}
 
 func main() {
 	basePath := flag.String("base", "BENCH_baseline.json", "committed baseline report")
 	newPath := flag.String("new", "BENCH_host.json", "fresh report to check")
 	maxRegress := flag.Float64("max-regress", 0.15, "tolerated fractional throughput drop after calibration scaling")
 	allocSlack := flag.Float64("alloc-slack", 0.25, "tolerated absolute allocs/op increase")
+	var require requireFlag
+	flag.Var(&require, "require", "absolute floor on a fresh result, as name:value (repeatable)")
 	flag.Parse()
 
 	base, err := loadReport(*basePath)
@@ -58,8 +97,26 @@ func main() {
 			e.Name, e.Base, e.Fresh, e.Ratio,
 			fmtAllocs(e.BaseAllocs), fmtAllocs(e.NewAllocs), status)
 	}
-	if bad := bench.DiffFailures(entries); len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", len(bad))
+	failures := len(bench.DiffFailures(entries))
+	freshByName := make(map[string]float64, len(fresh.Results))
+	for _, r := range fresh.Results {
+		freshByName[r.Name] = r.Value
+	}
+	for i, name := range require.names {
+		v, ok := freshByName[name]
+		switch {
+		case !ok:
+			fmt.Printf("require %-20s FAIL: no such result in fresh report\n", name)
+			failures++
+		case v < require.floors[i]:
+			fmt.Printf("require %-20s FAIL: %.3f below required %.3f\n", name, v, require.floors[i])
+			failures++
+		default:
+			fmt.Printf("require %-20s ok: %.3f >= %.3f\n", name, v, require.floors[i])
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")

@@ -32,6 +32,8 @@ func main() {
 	graph := flag.Bool("graph", false, "print the pipeline's activity graph and exit")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "replicas of the hash+compress stage")
 	batch := flag.Int("batch", dedup.DefaultBatchSize, "fragmentation batch size in bytes")
+	lanes := flag.Int("lzss-lanes", 0, "intra-batch compress lanes (0 = GOMAXPROCS-derived on parallel paths, negative = 1)")
+	storeShards := flag.Int("store-shards", 0, "duplicate-store stripe count, rounded up to a power of two (0 = default)")
 	seq := flag.Bool("seq", false, "use the sequential reference implementation")
 	gpuRT := flag.Bool("gpu", false, "compress on the simulated GPU (hash + match kernels)")
 	timeout := flag.Duration("timeout", 0, "cancel a parallel compress after this long (0 = no limit)")
@@ -69,7 +71,7 @@ func main() {
 	start := time.Now()
 	if *compress {
 		var st dedup.Stats
-		opt := dedup.Options{BatchSize: *batch, Workers: *workers}
+		opt := dedup.Options{BatchSize: *batch, Workers: *workers, Lanes: *lanes, StoreShards: *storeShards}
 		if *metricsAddr != "" {
 			opt.Metrics = telemetry.New()
 			srv, err := telemetry.Serve(*metricsAddr, opt.Metrics)

@@ -46,6 +46,8 @@ func main() {
 	linger := flag.Duration("linger", 2*time.Millisecond, "max wait for a partial dedup batch to fill before sealing")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "replicas of each processing stage")
 	batch := flag.Int("batch", dedup.DefaultBatchSize, "dedup coalescing target in bytes")
+	lanes := flag.Int("lzss-lanes", 0, "intra-batch compress lanes per worker (0 = GOMAXPROCS-derived, negative = 1)")
+	storeShards := flag.Int("store-shards", 0, "duplicate-store stripe count, rounded up to a power of two (0 = default)")
 	gpuRT := flag.Bool("gpu", false, "process dedup batches on the simulated GPU")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown before forcing")
 	faultSeed := flag.Int64("fault-seed", 0, "gpu: fault injector seed")
@@ -95,6 +97,8 @@ func main() {
 		DefaultDeadline: *defaultDeadline,
 		Devices:         *gpus,
 		Health:          health.Config{Threshold: *quarThreshold},
+		Lanes:           *lanes,
+		StoreShards:     *storeShards,
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -3,7 +3,11 @@
 // flow-insensitive checker cannot credit.
 package fixture
 
-import "streamgpu/internal/pool"
+import (
+	"sync"
+
+	"streamgpu/internal/pool"
+)
 
 var (
 	bufs = pool.NewBytes("fixture.bufs")
@@ -62,4 +66,22 @@ func escapeOnErrorPath(fail bool) []byte {
 	}
 	bufs.Release(b)
 	return nil
+}
+
+// laneWorker borrows the buffer: every use is an index or a Done.
+func laneWorker(b []byte, wg *sync.WaitGroup) {
+	b[0] = 1
+	wg.Done()
+}
+
+// laneFanOutJoin is the lane-parallel compress shape: Get, spawn a
+// borrowing worker, join, Release from the spawner — ownership never moves
+// even though the value crosses a goroutine boundary.
+func laneFanOutJoin() {
+	var wg sync.WaitGroup
+	b := bufs.Get(64)
+	wg.Add(1)
+	go laneWorker(b, &wg)
+	wg.Wait()
+	bufs.Release(b)
 }

@@ -53,3 +53,22 @@ func reliesOnMaybe(ok bool) {
 	b := bufs.Get(32) // want `released on some paths but not all`
 	maybeRelease(b, ok)
 }
+
+// compressLane only borrows the lane buffer: every use is an index.
+func compressLane(b []byte) {
+	for i := range b {
+		b[i]++
+	}
+}
+
+// laneInlineEarlyReturn is the lane fan-out leak shape: lane 0 runs inline
+// on the caller's own pooled value (compressLane only borrows), and the
+// failure path returns before the post-join Release.
+func laneInlineEarlyReturn(fail bool) {
+	b := bufs.Get(64) // want `released on some paths but not all`
+	compressLane(b)
+	if fail {
+		return
+	}
+	bufs.Release(b)
+}

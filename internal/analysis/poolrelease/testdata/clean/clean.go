@@ -3,7 +3,11 @@
 // see.
 package fixture
 
-import "streamgpu/internal/pool"
+import (
+	"sync"
+
+	"streamgpu/internal/pool"
+)
 
 type thing struct{ n int }
 
@@ -59,4 +63,18 @@ func resliceThenRelease() {
 	b = b[:128]
 	b[0] = 9
 	bufs.Release(b)
+}
+
+// laneFanOut is the lane-parallel compress shape: acquire a matcher per
+// lane, hand it to a spawned worker, join, then release from the spawner.
+// The goroutine only borrows; ownership stays with the fan-out function.
+func laneFanOut(wg *sync.WaitGroup) {
+	t := things.Get()
+	wg.Add(1)
+	go func() {
+		sink = t.n
+		wg.Done()
+	}()
+	wg.Wait()
+	things.Release(t)
 }

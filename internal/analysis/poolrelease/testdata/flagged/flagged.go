@@ -56,3 +56,14 @@ func borrowsDoNotDischarge() {
 }
 
 func use(int) {}
+
+// laneSkippedLeaks models the lane fan-out bug: a matcher acquired for a
+// lane that turns out empty is dropped on the early return instead of
+// going back to the free list.
+func laneSkippedLeaks(empty bool) {
+	t := things.Get() // want `never released`
+	if empty {
+		return // lane had no blocks; the matcher is lost
+	}
+	use(t.n)
+}

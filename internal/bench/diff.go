@@ -64,10 +64,16 @@ func Diff(base, fresh HostReport, opt DiffOptions) ([]DiffEntry, error) {
 		if !ok {
 			continue // new measurement: nothing to regress against
 		}
+		// Dimensionless entries (unit "x", e.g. parallel speedup ratios) are
+		// machine-speed-independent: calib scaling would distort them.
+		entryScale := scale
+		if fr.Unit == "x" {
+			entryScale = 1
+		}
 		e := DiffEntry{
 			Name:       fr.Name,
 			Unit:       fr.Unit,
-			Base:       br.Value * scale,
+			Base:       br.Value * entryScale,
 			Fresh:      fr.Value,
 			BaseAllocs: br.AllocsPerOp,
 			NewAllocs:  fr.AllocsPerOp,

@@ -28,12 +28,14 @@ type Batch struct {
 	// pooled marks a batch owned by batchPool, arena is the per-batch
 	// compression output buffer Comp entries subslice, firsts is the
 	// dedup stage's first-sighting verdict per block, and compOff is the
-	// compress stage's offset scratch. All survive Release so the next
-	// batch reuses their capacity.
-	pooled  bool
-	arena   []byte
-	firsts  []bool
-	compOff []int32
+	// compress stage's offset scratch. laneArenas are the per-lane output
+	// buffers of the lane-parallel compress path (compressFirstsPar). All
+	// survive Release so the next batch reuses their capacity.
+	pooled     bool
+	arena      []byte
+	firsts     []bool
+	compOff    []int32
+	laneArenas [][]byte
 }
 
 // batchPool recycles Batch containers (and the slices hanging off them)
@@ -59,6 +61,9 @@ func (b *Batch) Release() {
 	b.Comp = b.Comp[:0]
 	b.arena = b.arena[:0]
 	b.firsts = b.firsts[:0]
+	for i := range b.laneArenas {
+		b.laneArenas[i] = b.laneArenas[i][:0]
+	}
 	batchPool.Release(b)
 }
 
@@ -215,49 +220,103 @@ type CompSink interface {
 	PublishComp(h [sha1x.Size]byte, comp []byte)
 }
 
+// DefaultStoreShards is the default stripe count of a Store: enough that a
+// farm of compress replicas almost never collides on a stripe (collision
+// probability ~replicas/shards per lookup), small enough that the per-shard
+// maps stay dense.
+const DefaultStoreShards = 64
+
+// storeShard is one stripe of the table. The padding keeps neighbouring
+// stripes' mutexes off one cache line, so contended stripes do not false-share.
+type storeShard struct {
+	mu   sync.Mutex
+	seen map[[sha1x.Size]byte]struct{}
+	_    [64 - 8 - 8]byte
+}
+
 // Store is the shared duplicate-detection table (stage 3). It is a
 // processing-time hint: the first processor of a hash wins and compresses;
 // the archive Writer makes the authoritative stream-order decision.
+//
+// The table is striped across power-of-two shards keyed by the hash's first
+// bytes: every hash maps to exactly one shard, whose mutex serializes the
+// check-and-record, so the exactly-once FirstSighting guarantee holds
+// per hash exactly as it did under one global lock — while replicated
+// compress stages touching different hashes proceed in parallel.
 type Store struct {
-	mu   sync.Mutex
-	seen map[[sha1x.Size]byte]struct{}
+	mask   uint32
+	shards []storeShard
 }
 
-// NewStore creates an empty duplicate store.
-func NewStore() *Store {
-	return &Store{seen: make(map[[sha1x.Size]byte]struct{})}
+// NewStore creates an empty duplicate store with DefaultStoreShards stripes.
+func NewStore() *Store { return NewStoreSharded(DefaultStoreShards) }
+
+// NewStoreSharded creates an empty duplicate store with n stripes, rounded
+// up to a power of two (minimum 1).
+func NewStoreSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	s := &Store{mask: uint32(p - 1), shards: make([]storeShard, p)}
+	for i := range s.shards {
+		s.shards[i].seen = make(map[[sha1x.Size]byte]struct{})
+	}
+	return s
+}
+
+// Shards reports the stripe count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor routes h to its stripe. SHA-1 output is uniform, so the low two
+// bytes index up to 2^16 stripes without skew.
+func (s *Store) shardFor(h *[sha1x.Size]byte) *storeShard {
+	return &s.shards[(uint32(h[0])|uint32(h[1])<<8)&s.mask]
 }
 
 // FirstSighting atomically records h and reports whether this call was the
 // first to see it.
 func (s *Store) FirstSighting(h [sha1x.Size]byte) bool {
-	s.mu.Lock()
-	_, dup := s.seen[h]
+	sh := s.shardFor(&h)
+	sh.mu.Lock()
+	_, dup := sh.seen[h]
 	if !dup {
-		s.seen[h] = struct{}{}
+		sh.seen[h] = struct{}{}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	return !dup
 }
 
-// FirstSightings is the batched form of FirstSighting: one lock acquisition
-// records every hash and fills dst[i] with whether hashes[i] was new. dst
-// must be at least as long as hashes.
+// FirstSightings is the batched form of FirstSighting: every hash is
+// recorded in its stripe and dst[i] filled with whether hashes[i] was new.
+// dst must be at least as long as hashes. Each stripe's check-and-record is
+// atomic per hash; concurrent batches only serialize where their hashes
+// share a stripe.
 func (s *Store) FirstSightings(hashes [][sha1x.Size]byte, dst []bool) {
-	s.mu.Lock()
-	for i, h := range hashes {
-		_, dup := s.seen[h]
+	for i := range hashes {
+		h := &hashes[i]
+		sh := s.shardFor(h)
+		sh.mu.Lock()
+		_, dup := sh.seen[*h]
 		if !dup {
-			s.seen[h] = struct{}{}
+			sh.seen[*h] = struct{}{}
 		}
+		sh.mu.Unlock()
 		dst[i] = !dup
 	}
-	s.mu.Unlock()
 }
 
 // Len reports the number of distinct hashes seen.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.seen)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.seen)
+		sh.mu.Unlock()
+	}
+	return n
 }

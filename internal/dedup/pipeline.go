@@ -15,6 +15,18 @@ type Options struct {
 	BatchSize int
 	// Workers replicates the hash+compress stage (the paper uses 19).
 	Workers int
+	// Lanes is the intra-batch parallelism of the compress stage: each
+	// batch's blocks are split into up to Lanes byte-balanced ranges
+	// compressed concurrently (lzss.FindMatchesPar's partition), bit-exact
+	// to the sequential encoder. 0 derives the count from GOMAXPROCS
+	// (lzss.DefaultLanes) on the parallel paths; CompressSeq stays the
+	// single-threaded reference unless Lanes > 1 is set explicitly.
+	// Negative forces one lane.
+	Lanes int
+	// StoreShards is the duplicate store's stripe count (rounded up to a
+	// power of two; default DefaultStoreShards). More stripes cut lock
+	// collisions between replicated compress stages.
+	StoreShards int
 	// Metrics, when set, instruments the run: the SPar pipeline surfaces
 	// per-stage counters, service histograms and queue gauges labelled
 	// {pipeline="dedup"}; the GPU path additionally attaches the device
@@ -39,24 +51,65 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// lanes resolves the effective compress-lane count for the parallel paths.
+func (o Options) lanes() int {
+	if o.Lanes > 0 {
+		return o.Lanes
+	}
+	if o.Lanes < 0 {
+		return 1
+	}
+	return lzss.DefaultLanes()
+}
+
+func (o Options) storeShards() int {
+	if o.StoreShards <= 0 {
+		return DefaultStoreShards
+	}
+	return o.StoreShards
+}
+
+// newStore builds the run's duplicate store with the configured striping.
+func (o Options) newStore() *Store { return NewStoreSharded(o.storeShards()) }
+
 // CompressSeq is the single-threaded reference implementation: fragment,
-// hash, dedup, compress, write — one batch at a time.
+// hash, dedup, compress, write — one batch at a time. With Lanes > 1 the
+// batch traversal stays sequential but each batch's compression fans out
+// across lanes (CompressFirsts); the archive bytes are identical either way
+// because the Writer makes the authoritative stream-order dedup decision and
+// per-block encoding is deterministic.
 func CompressSeq(input []byte, w io.Writer, opt Options) (Stats, error) {
 	dw := NewWriter(w)
 	var firstErr error
-	Fragment(input, opt.batchSize(), func(b *Batch) {
-		if firstErr != nil {
-			return
-		}
-		b.HashBlocks()
-		for k := 0; k < b.NBlocks(); k++ {
-			lo, hi := b.Block(k)
-			if err := dw.WriteBlock(b.Hashes[k], b.Data[lo:hi], nil); err != nil {
-				firstErr = err
+	if opt.Lanes > 1 {
+		store := opt.newStore()
+		m := lzss.NewMatcher()
+		Fragment(input, opt.batchSize(), func(b *Batch) {
+			if firstErr != nil {
 				return
 			}
-		}
-	})
+			b.HashBlocks()
+			b.markFirsts(store)
+			b.CompressFirsts(m, opt.Lanes)
+			if err := writeBatch(b, dw); err != nil {
+				firstErr = err
+			}
+		})
+	} else {
+		Fragment(input, opt.batchSize(), func(b *Batch) {
+			if firstErr != nil {
+				return
+			}
+			b.HashBlocks()
+			for k := 0; k < b.NBlocks(); k++ {
+				lo, hi := b.Block(k)
+				if err := dw.WriteBlock(b.Hashes[k], b.Data[lo:hi], nil); err != nil {
+					firstErr = err
+					return
+				}
+			}
+		})
+	}
 	if firstErr != nil {
 		return dw.Stats(), firstErr
 	}
@@ -84,10 +137,12 @@ func writeBatch(b *Batch, dw *Writer) error {
 
 // compressWorker is a stateful compress-stage replica: each replica owns an
 // lzss.Matcher whose hash-chain tables and match arrays are reused across
-// batches without locking.
-type compressWorker struct{ m *lzss.Matcher }
-
-func newCompressWorker() core.Worker { return &compressWorker{} }
+// batches without locking; lanes > 1 additionally fans each batch out
+// across borrowed lane matchers (CompressFirsts).
+type compressWorker struct {
+	m     *lzss.Matcher
+	lanes int
+}
 
 // Init implements core.Worker.
 func (w *compressWorker) Init() error { w.m = lzss.NewMatcher(); return nil }
@@ -98,7 +153,7 @@ func (w *compressWorker) End() {}
 // Process implements core.Worker.
 func (w *compressWorker) Process(item any, emit func(any)) {
 	b := item.(*Batch)
-	b.compressFirsts(w.m)
+	b.CompressFirsts(w.m, w.lanes)
 	emit(b)
 }
 
@@ -118,7 +173,8 @@ func CompressSPar(input []byte, w io.Writer, opt Options) (Stats, error) {
 // context error is returned).
 func CompressSParContext(ctx context.Context, input []byte, w io.Writer, opt Options) (Stats, error) {
 	dw := NewWriter(w)
-	store := NewStore()
+	store := opt.newStore()
+	lanes := opt.lanes()
 
 	ts := core.NewToStream(core.Ordered(), core.Input("input", "batchSize"),
 		core.Telemetry(opt.Metrics, "dedup"), core.Trace(opt.Trace)).
@@ -133,7 +189,8 @@ func CompressSParContext(ctx context.Context, input []byte, w io.Writer, opt Opt
 			b.markFirsts(store)
 			emit(b)
 		}, core.Name("dedup"), core.Input("hashes"), core.Output("firsts")).
-		StageWorkers(newCompressWorker, core.Replicate(opt.workers()),
+		StageWorkers(func() core.Worker { return &compressWorker{lanes: lanes} },
+			core.Replicate(opt.workers()),
 			core.Name("compress"), core.Input("firsts"), core.Output("batch")).
 		StageErr(func(item any, emit func(any)) error {
 			// A write failure flows through the runtime's error channel:

@@ -91,11 +91,12 @@ func (p *Processor) Process(b *Batch, store BlockStore) {
 }
 
 // processCPU is the reference path: always correct, never consulted by the
-// health scoreboard.
+// health scoreboard. Compression fans out across the configured lanes
+// (GOMAXPROCS-derived by default), bit-exact to the sequential encoder.
 func (p *Processor) processCPU(b *Batch, store BlockStore) {
 	b.HashBlocks()
 	b.markFirsts(store)
-	b.compressFirsts(p.m)
+	b.CompressFirsts(p.m, p.opt.lanes())
 }
 
 // exchange is the cluster-store hook: publish every block this processor

@@ -74,12 +74,16 @@ func (f *Farm) start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.
 	}
 	nw := len(f.workers)
 	wqs := make([]*SPSC[any], nw) // emitter -> worker i
-	cqs := make([]*SPSC[any], nw) // worker i -> collector
 	for i := range wqs {
 		wqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
-		cqs[i] = NewSPSC[any](pl.queueCap, pl.spinning)
 	}
-	tm.registerFarmQueueGauges(wqs, cqs)
+	// All workers fan into one MPMC collector queue: the collector pops
+	// bursts from a single ring instead of polling nw SPSC queues, so an
+	// idle worker costs it nothing and a hot worker's results are never
+	// stuck behind an empty queue in the round-robin. Capacity preserves the
+	// per-worker budget of the old cqs.
+	cq := NewMPMC[any](pl.queueCap*nw, pl.spinning)
+	tm.registerFarmQueueGauges(wqs, cq)
 
 	// --- emitter ---
 	wg.Add(1)
@@ -93,7 +97,7 @@ func (f *Farm) start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			f.runWorker(pl, tm, i, wqs[i], cqs[i])
+			f.runWorker(pl, tm, i, wqs[i], cq)
 		}(i)
 	}
 
@@ -101,7 +105,7 @@ func (f *Farm) start(pl *Pipeline, tm *stageTelem, in, out *SPSC[any], wg *sync.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		f.runCollector(pl, tm, cqs, out)
+		f.runCollector(pl, tm, cq, len(f.workers), out)
 	}()
 }
 
@@ -225,7 +229,7 @@ func (f *Farm) runEmitter(pl *Pipeline, tm *stageTelem, in *SPSC[any], wqs []*SP
 // runWorker executes one replica's service loop. Service times and per-item
 // traces are observed here: the workers are where a farm stage spends its
 // time.
-func (f *Farm) runWorker(pl *Pipeline, tm *stageTelem, i int, wq, cq *SPSC[any]) {
+func (f *Farm) runWorker(pl *Pipeline, tm *stageTelem, i int, wq *SPSC[any], cq *MPMC[any]) {
 	w := f.workers[i]
 	where := fmt.Sprintf("worker %d", i)
 	// Multi-output plumbing: unordered workers push straight to their
@@ -304,10 +308,10 @@ serve:
 	cq.Push(EOS)
 }
 
-// runCollector gathers worker results (round-robin over the per-worker
-// queues), restores order if requested, applies the collector node, and
-// forwards downstream.
-func (f *Farm) runCollector(pl *Pipeline, tm *stageTelem, cqs []*SPSC[any], out *SPSC[any]) {
+// runCollector gathers worker results (burst pops off the shared MPMC
+// fan-in queue), restores order if requested, applies the collector node,
+// and forwards downstream.
+func (f *Farm) runCollector(pl *Pipeline, tm *stageTelem, cq *MPMC[any], nworkers int, out *SPSC[any]) {
 	col := f.collector
 	send := func(v any) {
 		if out != nil && !pl.Canceled() {
@@ -360,20 +364,19 @@ func (f *Farm) runCollector(pl *Pipeline, tm *stageTelem, cqs []*SPSC[any], out 
 	}
 
 	eos := 0
-	idx := 0
 	var b backoff
 	b.spin = pl.spinning
-	for eos < len(cqs) {
-		progressed := false
-		for range cqs {
-			q := cqs[idx]
-			idx = (idx + 1) % len(cqs)
-			v, ok := q.TryPop()
-			if !ok {
-				continue
-			}
-			progressed = true
-			b.reset()
+	var burst [burstCap]any
+	for eos < nworkers {
+		got := cq.TryPopN(burst[:])
+		if got == 0 {
+			b.wait()
+			continue
+		}
+		b.reset()
+		for j := 0; j < got; j++ {
+			v := burst[j]
+			burst[j] = nil
 			if v == EOS {
 				eos++
 				continue
@@ -385,9 +388,6 @@ func (f *Farm) runCollector(pl *Pipeline, tm *stageTelem, cqs []*SPSC[any], out 
 				continue
 			}
 			handle(v)
-		}
-		if !progressed {
-			b.wait()
 		}
 	}
 	if f.ordered {

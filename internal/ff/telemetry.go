@@ -112,20 +112,21 @@ func (p *Pipeline) registerQueueGauges(queues []*SPSC[any]) {
 }
 
 // registerFarmQueueGauges points ff_farm_queue_depth at a farm's internal
-// emitter->worker (w<i>) and worker->collector (c<i>) queues.
-func (tm *stageTelem) registerFarmQueueGauges(wqs, cqs []*SPSC[any]) {
+// emitter->worker (w<i>) queues and the shared worker->collector MPMC
+// fan-in queue (c).
+func (tm *stageTelem) registerFarmQueueGauges(wqs []*SPSC[any], cq *MPMC[any]) {
 	if tm == nil || tm.reg == nil {
 		return
 	}
 	for i := range wqs {
-		wq, cq := wqs[i], cqs[i]
+		wq := wqs[i]
 		tm.reg.GaugeFunc("ff_farm_queue_depth",
 			telemetry.Labels{"pipeline": tm.pipe, "stage": tm.name, "queue": fmt.Sprintf("w%d", i)},
 			func() float64 { return float64(wq.Len()) })
-		tm.reg.GaugeFunc("ff_farm_queue_depth",
-			telemetry.Labels{"pipeline": tm.pipe, "stage": tm.name, "queue": fmt.Sprintf("c%d", i)},
-			func() float64 { return float64(cq.Len()) })
 	}
+	tm.reg.GaugeFunc("ff_farm_queue_depth",
+		telemetry.Labels{"pipeline": tm.pipe, "stage": tm.name, "queue": "c"},
+		func() float64 { return float64(cq.Len()) })
 }
 
 func (tm *stageTelem) itemIn() {

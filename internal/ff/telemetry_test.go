@@ -60,7 +60,7 @@ func TestPipelineTelemetry(t *testing.T) {
 		`ff_queue_depth{pipeline="test",queue="source->double"}`,
 		`ff_queue_depth{pipeline="test",queue="double->sink"}`,
 		`ff_farm_queue_depth{pipeline="test",queue="w0",stage="double"}`,
-		`ff_farm_queue_depth{pipeline="test",queue="c2",stage="double"}`,
+		`ff_farm_queue_depth{pipeline="test",queue="c",stage="double"}`,
 	} {
 		if !strings.Contains(expo, want) {
 			t.Errorf("exposition missing %s", want)

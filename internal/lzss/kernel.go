@@ -101,14 +101,15 @@ type Matches struct {
 	Off []int32
 }
 
-// Precompute runs the exact hash-chain matcher on the host for the batch.
+// Precompute runs the exact hash-chain matcher on the host for the batch,
+// lane-parallel across cores (bit-identical to the sequential matcher).
 // The result is what the brute-force device scan would produce.
 func Precompute(batch []byte, startPos []int32) *Matches {
 	m := &Matches{
 		Len: make([]int32, len(batch)),
 		Off: make([]int32, len(batch)),
 	}
-	FindMatches(batch, startPos, m.Len, m.Off)
+	FindMatchesPar(0, batch, startPos, m.Len, m.Off)
 	return m
 }
 

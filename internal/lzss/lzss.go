@@ -156,12 +156,23 @@ func FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
 //     XOR + trailing-zero count, which computes the same length.
 func (m *Matcher) FindMatches(input []byte, startPos []int32, matchLen, matchOff []int32) {
 	checkMatchArgs(input, startPos, matchLen, matchOff)
+	m.findMatchesRange(input, startPos, 0, len(startPos), matchLen, matchOff)
+}
+
+// findMatchesRange runs the hash-chain search for blocks [k0, k1) only.
+// All indices stay batch-absolute: block k covers
+// [startPos[k], blockEnd(startPos, k, len(input))), and the match arrays are
+// written exactly on that union of ranges. Because the chain tables are
+// epoch-invalidated per block, the result for a block never depends on any
+// other block — which is what makes a contiguous block range an independent
+// unit of work (FindMatchesPar's lanes).
+func (m *Matcher) findMatchesRange(input []byte, startPos []int32, k0, k1 int, matchLen, matchOff []int32) {
 	if len(input) > cap(m.prev) {
 		m.prev = make([]int32, len(input))
 	}
 	prev := m.prev[:cap(m.prev)]
 	head, stamp := &m.head, &m.stamp
-	for k := range startPos {
+	for k := k0; k < k1; k++ {
 		lo := int(startPos[k])
 		hi := blockEnd(startPos, k, len(input))
 		if m.epoch == math.MaxInt32 {

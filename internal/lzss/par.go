@@ -1,0 +1,166 @@
+package lzss
+
+import (
+	"runtime"
+	"sync"
+
+	"streamgpu/internal/pool"
+)
+
+// maxLanes caps the lane fan-out: beyond 8 lanes the per-batch work units
+// (1 MB / lanes) get small enough that spawn/join overhead and cache traffic
+// eat the gains, and the matcher pool would pin 8+ sets of chain tables.
+const maxLanes = 8
+
+// DefaultLanes is the GOMAXPROCS-derived lane count the pipelines use when
+// the caller does not pick one: one lane per schedulable core, capped at
+// maxLanes.
+func DefaultLanes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLanes {
+		n = maxLanes
+	}
+	return n
+}
+
+// laneTask is one lane's unit of work: a contiguous block range of the batch
+// plus the shared output arrays. run is built once per task (capturing only
+// the task pointer) so spawning a lane is `go t.run()` — a no-argument
+// func value, which the runtime starts without allocating a closure.
+type laneTask struct {
+	m        *Matcher
+	input    []byte
+	startPos []int32
+	k0, k1   int
+	matchLen []int32
+	matchOff []int32
+	wg       *sync.WaitGroup
+	run      func()
+}
+
+// clear drops the task's references to caller-owned memory so a pooled
+// scratch never pins a batch past the call.
+func (t *laneTask) clear() {
+	t.m = nil
+	t.input = nil
+	t.startPos = nil
+	t.matchLen = nil
+	t.matchOff = nil
+}
+
+// parScratch is the reusable spawn state behind FindMatchesPar: the lane
+// tasks (with their prebuilt run closures) and the join group. Pooled so a
+// warm caller runs the whole fan-out/join with zero heap allocations.
+type parScratch struct {
+	tasks []*laneTask
+	wg    sync.WaitGroup
+}
+
+// grow ensures at least n lane tasks exist.
+func (s *parScratch) grow(n int) {
+	for len(s.tasks) < n {
+		t := &laneTask{wg: &s.wg}
+		t.run = func() {
+			t.m.findMatchesRange(t.input, t.startPos, t.k0, t.k1, t.matchLen, t.matchOff)
+			t.wg.Done()
+		}
+		s.tasks = append(s.tasks, t)
+	}
+}
+
+var parPool = pool.New[*parScratch]("lzss.par", func() *parScratch { return new(parScratch) })
+
+// laneCut returns the first block index whose start position is >= the
+// byte-proportional target for lane boundary i of lanes — the partition that
+// balances lanes by bytes, not block count (Rabin blocks vary widely in
+// size). laneCut(0)=0 and laneCut(lanes)=len(startPos); cuts are monotone, so
+// a lane can be empty when blocks are huge relative to the batch.
+func laneCut(i, lanes int, input []byte, startPos []int32) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= lanes {
+		return len(startPos)
+	}
+	target := int32(uint64(len(input)) * uint64(i) / uint64(lanes))
+	lo, hi := 0, len(startPos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if startPos[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FindMatchesPar computes exactly the bytes (*Matcher).FindMatches computes,
+// split across up to lanes concurrent matchers. Correctness rests on the
+// core property of the match semantics: a match never crosses a startPos
+// boundary, and the chain tables are epoch-invalidated per block, so the
+// per-block output is a pure function of that block's bytes. Partitioning
+// the blocks into contiguous lanes therefore changes scheduling only — each
+// lane writes the disjoint matchLen/matchOff region its blocks own, and the
+// merged result is bit-identical to the sequential pass (proven against the
+// equivalence harness in lzss_par_test.go).
+//
+// lanes <= 0 selects DefaultLanes(). The call borrows lane matchers and the
+// spawn scratch from package pools and blocks until every lane finishes; a
+// warm call performs no heap allocation.
+func FindMatchesPar(lanes int, input []byte, startPos []int32, matchLen, matchOff []int32) {
+	checkMatchArgs(input, startPos, matchLen, matchOff)
+	if lanes <= 0 {
+		lanes = DefaultLanes()
+	}
+	if lanes > maxLanes {
+		lanes = maxLanes
+	}
+	if lanes > len(startPos) {
+		lanes = len(startPos)
+	}
+	if lanes <= 1 {
+		m := matcherPool.Get()
+		m.findMatchesRange(input, startPos, 0, len(startPos), matchLen, matchOff)
+		matcherPool.Release(m)
+		return
+	}
+
+	sc := parPool.Get()
+	sc.grow(lanes)
+	spawned := 0
+	k0 := 0
+	for i := 0; i < lanes; i++ {
+		k1 := laneCut(i+1, lanes, input, startPos)
+		if k1 <= k0 {
+			continue
+		}
+		t := sc.tasks[spawned]
+		t.m = matcherPool.Get()
+		t.input = input
+		t.startPos = startPos
+		t.k0, t.k1 = k0, k1
+		t.matchLen = matchLen
+		t.matchOff = matchOff
+		spawned++
+		k0 = k1
+	}
+	// Lanes 1..spawned-1 run on their own goroutines; lane 0 runs inline so
+	// the caller's core is never idle during the join.
+	sc.wg.Add(spawned - 1)
+	for i := 1; i < spawned; i++ {
+		go sc.tasks[i].run()
+	}
+	t0 := sc.tasks[0]
+	t0.m.findMatchesRange(t0.input, t0.startPos, t0.k0, t0.k1, t0.matchLen, t0.matchOff)
+	sc.wg.Wait()
+	for i := 0; i < spawned; i++ {
+		t := sc.tasks[i]
+		matcherPool.Release(t.m)
+		t.clear()
+	}
+	parPool.Release(sc)
+}

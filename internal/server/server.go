@@ -36,6 +36,7 @@ import (
 	"streamgpu/internal/core"
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/ff"
 	"streamgpu/internal/health"
 	"streamgpu/internal/mandel"
 	"streamgpu/internal/pool"
@@ -94,6 +95,15 @@ type Config struct {
 	// and nodes. Archive bytes are unaffected either way: each session's
 	// Writer still makes the authoritative stream-order decision.
 	Store dedup.BlockStore
+	// Lanes is the intra-batch compress parallelism of the dedup workers
+	// (-lzss-lanes): each batch's blocks split into byte-balanced lanes
+	// compressed concurrently, bit-exact to the sequential encoder. 0
+	// derives the count from GOMAXPROCS; negative forces one lane.
+	Lanes int
+	// StoreShards stripes the per-session duplicate stores (-store-shards;
+	// rounded up to a power of two, default dedup.DefaultStoreShards).
+	// Ignored when Store injects a shared store.
+	StoreShards int
 }
 
 func (c Config) maxInflight() int {
@@ -146,8 +156,8 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	jobs  chan *job
-	mjobs chan *mandelJob
+	jobs  *ff.MPMC[*job]
+	mjobs *ff.MPMC[*mandelJob]
 
 	// The DRR schedulers sit between the sessions and the bounded job
 	// channels: sessions enqueue into per-tenant lanes, one dispatcher
@@ -191,12 +201,13 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		ctx:    ctx,
 		cancel: cancel,
-		// The job channels are the bounded admission queues feeding the
+		// The job queues are the bounded admission queues feeding the
 		// resident pipelines: capacity tracks the admission window, so a
 		// full window exerts backpressure on session readers (and through
-		// them, TCP) instead of buffering without bound.
-		jobs:     make(chan *job, cfg.maxInflight()),
-		mjobs:    make(chan *mandelJob, cfg.maxInflight()),
+		// them, TCP) instead of buffering without bound. MPMC because many
+		// dispatch/drop paths push while one pipeline source pops in bursts.
+		jobs:     ff.NewMPMC[*job](cfg.maxInflight(), false),
+		mjobs:    ff.NewMPMC[*mandelJob](cfg.maxInflight(), false),
 		payloads: pool.NewBytes("server.payload"),
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
@@ -359,9 +370,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.dispWG.Wait() //streamvet:ignore ctxprop Close unblocks the dispatchers' cond.Wait and they drain bounded lanes, so this wait is finite by construction
 
 	// All producers are gone: closing the sources ends the resident
-	// ToStream regions through their normal EOS path.
-	close(s.jobs)
-	close(s.mjobs)
+	// ToStream regions through their normal EOS path (PopWait drains what
+	// remains, then reports end-of-stream).
+	s.jobs.Close()
+	s.mjobs.Close()
 	if !s.waitCtx(ctx, &s.pipeWG) {
 		forced = ctx.Err()
 		s.cancel()
@@ -399,7 +411,11 @@ func (s *Server) waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
 // canceled (forced drain).
 func (s *Server) startPipelines() {
 	gopt := dedup.GPUOptions{
-		Options:    dedup.Options{Metrics: s.cfg.Metrics},
+		Options: dedup.Options{
+			Metrics:     s.cfg.Metrics,
+			Lanes:       s.cfg.Lanes,
+			StoreShards: s.cfg.StoreShards,
+		},
 		MaxRetries: s.cfg.MaxRetries,
 		Faults:     s.cfg.Faults,
 		Devices:    s.cfg.devices(),
@@ -431,21 +447,40 @@ func (s *Server) startPipelines() {
 	go func() {
 		defer s.pipeWG.Done()
 		err := dedupTS.RunContext(s.ctx, func(emit func(any)) {
-			for j := range s.jobs {
-				emit(j)
-			}
+			mpmcSource(s.jobs, emit)
 		})
 		s.recordPipeErr(err)
 	}()
 	go func() {
 		defer s.pipeWG.Done()
 		err := mandelTS.RunContext(s.ctx, func(emit func(any)) {
-			for mj := range s.mjobs {
-				emit(mj)
-			}
+			mpmcSource(s.mjobs, emit)
 		})
 		s.recordPipeErr(err)
 	}()
+}
+
+// mpmcSource feeds a resident pipeline from its admission queue: burst pops
+// while the queue has backlog (one claim per burst instead of per job),
+// blocking pops when it runs dry, until the queue is closed and drained.
+func mpmcSource[T any](q *ff.MPMC[T], emit func(any)) {
+	var burst [16]T
+	for {
+		n := q.TryPopN(burst[:])
+		if n == 0 {
+			v, ok := q.PopWait()
+			if !ok {
+				return
+			}
+			emit(v)
+			continue
+		}
+		var zero T
+		for i := 0; i < n; i++ {
+			emit(burst[i])
+			burst[i] = zero
+		}
+	}
 }
 
 // dispatch is one service's scheduler-drain loop.

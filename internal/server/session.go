@@ -261,9 +261,9 @@ func (sess *session) stageMandel(f wire.Frame, mreq MandelReq, cost int, deadlin
 		Cost:     cost,
 		Deadline: expiry,
 		Run: func() {
-			select {
-			case s.mjobs <- mj:
-			case <-s.ctx.Done():
+			// Blocking push with backpressure; a forced drain (context
+			// cancel) unblocks it and the job is settled here instead.
+			if !s.mjobs.PushCtx(s.ctx, mj) {
 				s.releaseAdmitted(mj.tenant)
 				sess.dropJob(1)
 			}
@@ -366,9 +366,7 @@ func (sess *session) sealLocked(trigger string) {
 	s.dedupSched.Enqueue(sess.qosTenant, qos.Item{
 		Cost: len(j.data),
 		Run: func() {
-			select {
-			case s.jobs <- j:
-			case <-s.ctx.Done():
+			if !s.jobs.PushCtx(s.ctx, j) {
 				discard()
 			}
 		},
