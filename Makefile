@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-json lint-selftest test race chaos cluster fuzz bench-json bench-gate verify
+.PHONY: build vet lint lint-json lint-selftest test race chaos cluster diag fuzz bench-json bench-gate verify
 
 build:
 	$(GO) build ./...
@@ -54,16 +54,27 @@ chaos:
 cluster:
 	$(GO) test -race -count=1 -run 'TestCluster|TestRedirect|TestLoadgen|TestNodeFault' ./internal/cluster
 
+# diag is the fleet-diagnostics smoke: the probe suite (quick level) must
+# pass on a 3-device heterogeneous fleet under the race detector, the
+# streamdiag binary must exit 0 on the same fleet, and its -json output must
+# pass its own schema gate (-validate). Run it before touching internal/diag,
+# internal/gpu fleet code, or the health scoreboard.
+diag:
+	$(GO) test -race -count=1 ./internal/diag ./internal/gpu ./internal/health
+	$(GO) run ./cmd/streamdiag -fleet 'titanxp,titanxp@clock=0.7@gen=2,titanxp@sms=20' -r 1 -json > DIAG_smoke.json
+	$(GO) run ./cmd/streamdiag -validate DIAG_smoke.json
+
 # fuzz gives each fuzz target a short randomized run on top of the committed
-# seed corpora (testdata/fuzz): the wire codec's decoders and the archive
-# restore path are the surfaces that parse bytes off the network/disk, so
-# they must error — never panic or over-allocate — on arbitrary input.
-# FUZZTIME=5m for a longer local soak.
+# seed corpora (testdata/fuzz): the wire codec's decoders, the archive
+# restore path, and the -fleet spec parser are the surfaces that parse bytes
+# off the network/disk/command line, so they must error — never panic or
+# over-allocate — on arbitrary input. FUZZTIME=5m for a longer local soak.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/server/wire -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server/wire -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dedup -fuzz FuzzRestore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gpu -fuzz FuzzParseFleet -fuzztime $(FUZZTIME)
 
 # bench-json emits the Fig. 1 table as machine-readable JSONL (one row per
 # optimization step, including the utilization columns) into BENCH_fig1.json,
@@ -86,4 +97,4 @@ bench-gate:
 # bench-gate job is separate on purpose: benchmark numbers want a quiet
 # machine, so run `make bench-gate` deliberately, not as part of every
 # verify.
-verify: build vet lint test race chaos
+verify: build vet lint test race chaos diag

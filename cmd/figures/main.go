@@ -5,6 +5,7 @@
 //	figures -fig 1     # the Mandelbrot optimization ladder
 //	figures -fig 4     # programming-model comparison (1 and 2 GPUs)
 //	figures -fig 5     # Dedup throughput over the three datasets
+//	figures -fig fleet # health-aware vs blind placement on a degraded fleet
 //	figures -fig 1 -json > BENCH_fig1.json   # machine-readable rows
 //	figures -fig 1 -metrics-addr :9090       # live /metrics while running
 //
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	"streamgpu/internal/bench"
+	"streamgpu/internal/gpu"
 	"streamgpu/internal/stats"
 	"streamgpu/internal/telemetry"
 	"streamgpu/internal/workload"
@@ -37,6 +39,7 @@ func main() {
 	dedupScale := flag.Float64("dedup-scale", 1.0/64, "dataset scale for Fig. 5 (1.0 = the paper's 185/816/202 MB)")
 	batchBytes := flag.Int("batch-bytes", 128*1024, "Dedup batch size in bytes (the paper's 1 MiB at scale 1.0)")
 	niter := flag.Int("niter", 1000, "physically computed Mandelbrot iterations (WorkScale restores the paper's 200k)")
+	fleetSpec := flag.String("fleet", "titanxp*4", "Fig. 7 fleet spec, e.g. 'titanxp*2,titanxp@clock=0.7' (see internal/gpu.ParseFleet)")
 	jsonOut := flag.Bool("json", false, "emit figure rows as JSON Lines on stdout instead of tables")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	selfCheck := flag.Bool("metrics-selfcheck", false, "after the run, scrape the own /metrics endpoint and fail unless it exposes GPU metrics")
@@ -90,8 +93,9 @@ func main() {
 
 	wantMandel := *fig == "all" || *fig == "1" || *fig == "4" || *ablation
 	wantDedup := *fig == "all" || *fig == "5"
-	if !wantMandel && !wantDedup {
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, 4, 5 or all)\n", *fig)
+	wantFleet := *fig == "all" || *fig == "7" || *fig == "fleet"
+	if !wantMandel && !wantDedup && !wantFleet {
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, 4, 5, 7/fleet or all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -122,6 +126,15 @@ func main() {
 			dp := bench.NewDedupPrep(spec, *batchBytes)
 			emit("fig5-"+spec.Kind.String(), bench.Fig5(dp, cfg.Cal))
 		}
+	}
+	if wantFleet {
+		fleet, err := gpu.ParseFleet(*fleetSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: -fleet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "running the placement comparison on a degraded %d-device fleet...\n", len(fleet))
+		emit("fig7-fleet", bench.FigFleet(bench.FleetConfig{Fleet: fleet}))
 	}
 
 	if *selfCheck {

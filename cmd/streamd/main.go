@@ -33,6 +33,7 @@ import (
 	"streamgpu/internal/cluster"
 	"streamgpu/internal/dedup"
 	"streamgpu/internal/fault"
+	"streamgpu/internal/gpu"
 	"streamgpu/internal/health"
 	"streamgpu/internal/server"
 	"streamgpu/internal/server/qos"
@@ -57,7 +58,11 @@ func main() {
 	tenantWeights := flag.String("tenant-weights", "", "per-tenant QoS table: tenant:weight[:rate[:burst]],... (tenant may be 'default')")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests that carry none on the wire (0 = off)")
 	gpus := flag.Int("gpus", 1, "gpu: simulated device pool size")
+	fleetSpec := flag.String("fleet", "", "gpu: heterogeneous fleet spec, e.g. 'titanxp*2,titanxp@clock=0.7@gen=2' (overrides -gpus)")
 	quarThreshold := flag.Float64("quarantine-threshold", 0, "gpu: fault rate over the health window that quarantines a device (0 = default 0.5)")
+	probeInterval := flag.Duration("probe-interval", 0, "gpu: run background diag probes this often and feed the health scoreboard (0 = off)")
+	probeLevel := flag.Int("probe-level", 1, "gpu: background probe run level 1..3")
+	blindPlacement := flag.Bool("blind-placement", false, "gpu: route batches by sequence modulo instead of health-score-weighted placement")
 	clusterMode := flag.Bool("cluster", false, "run as a cluster node (consistent-hash sharding + gossip membership)")
 	join := flag.String("join", "", "cluster: comma-separated seed node addresses to gossip with")
 	advertise := flag.String("advertise", "", "cluster: address peers and clients reach this node at (default: the listener's)")
@@ -71,6 +76,11 @@ func main() {
 
 	table, err := qos.ParseTable(*tenantWeights)
 	check(err)
+	var fleet []gpu.DeviceSpec
+	if *fleetSpec != "" {
+		fleet, err = gpu.ParseFleet(*fleetSpec)
+		check(err)
+	}
 
 	metrics := telemetry.New()
 	if *metricsAddr != "" {
@@ -96,7 +106,11 @@ func main() {
 		QoS:             table,
 		DefaultDeadline: *defaultDeadline,
 		Devices:         *gpus,
+		Fleet:           fleet,
 		Health:          health.Config{Threshold: *quarThreshold},
+		ProbeInterval:   *probeInterval,
+		ProbeLevel:      *probeLevel,
+		BlindPlacement:  *blindPlacement,
 		Lanes:           *lanes,
 		StoreShards:     *storeShards,
 	}

@@ -1,0 +1,110 @@
+// Command streamdiag runs the fleet diagnostic probe suite — the repo's
+// analogue of `dcgmi diag` — against a simulated heterogeneous fleet:
+//
+//	streamdiag                                  # 1 Titan XP, quick level
+//	streamdiag -fleet 'titanxp*4' -r 3          # full suite on four devices
+//	streamdiag -fleet 'titanxp,titanxp@clock=0.7@gen=2' -r 2 -json
+//	streamdiag -validate report.json            # schema-check a saved report
+//	streamdiag -fault-dev 1 -fault-transfer 0.5 # inject faults into device 1
+//
+// Run levels mirror dcgmi: -r 1 = device_query + vector_add, -r 2 adds the
+// pinned-vs-pageable bandwidth sweep, -r 3 adds the sustained bus grind.
+// Exit status is 0 only when every probe on every device passes (or, with
+// -validate, when the report is structurally valid).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgpu/internal/diag"
+	"streamgpu/internal/fault"
+	"streamgpu/internal/gpu"
+)
+
+func main() {
+	fleetSpec := flag.String("fleet", "titanxp", "fleet spec, e.g. 'titanxp*2,titanxp@clock=0.7@gen=2' (see internal/gpu.ParseFleet)")
+	level := flag.Int("r", 1, "run level 1..3 (cumulative, like dcgmi diag -r)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	tolerance := flag.Float64("tolerance", 0.5, "fraction of spec bandwidth a transfer must achieve to pass")
+	vectorLen := flag.Int("vector-len", 64<<10, "vector_add element count")
+	grindOps := flag.Int("grind-ops", 24, "bus_grind iteration count")
+	validate := flag.String("validate", "", "validate a saved JSON report instead of running probes")
+	faultSeed := flag.Int64("fault-seed", 0, "fault injection seed (0 disables injection)")
+	faultTransfer := flag.Float64("fault-transfer", 0, "per-transfer fault probability")
+	faultKernel := flag.Float64("fault-kernel", 0, "per-kernel fault probability")
+	faultKillAfter := flag.Int("fault-kill-after", 0, "kill the device after this many operations (0 = never)")
+	faultDev := flag.Int("fault-dev", -1, "device index to inject faults into (-1 = all devices)")
+	flag.Parse()
+
+	if *validate != "" {
+		os.Exit(validateFile(*validate))
+	}
+
+	fleet, err := gpu.ParseFleet(*fleetSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamdiag: %v\n", err)
+		os.Exit(2)
+	}
+	opt := diag.Options{
+		Level:     *level,
+		Fleet:     fleet,
+		VectorLen: *vectorLen,
+		GrindOps:  *grindOps,
+		Tolerance: *tolerance,
+	}
+	if *faultSeed != 0 || *faultTransfer > 0 || *faultKernel > 0 || *faultKillAfter > 0 {
+		fc := fault.Config{
+			Seed:         *faultSeed,
+			TransferRate: *faultTransfer,
+			KernelRate:   *faultKernel,
+			KillAfterOps: *faultKillAfter,
+		}
+		target := *faultDev
+		opt.FaultsFor = func(dev int) fault.Config {
+			if target >= 0 && dev != target {
+				return fault.Config{}
+			}
+			return fc
+		}
+	}
+
+	rep := diag.Run(opt)
+	if err := diag.Validate(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "streamdiag: self-check failed: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "streamdiag: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+// validateFile schema-checks a saved -json report; 0 means valid.
+func validateFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamdiag: %v\n", err)
+		return 2
+	}
+	var rep diag.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "streamdiag: %s: %v\n", path, err)
+		return 1
+	}
+	if err := diag.Validate(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "streamdiag: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: valid (%d devices, level %d, pass=%v)\n", path, rep.Devices, rep.Level, rep.Pass)
+	return 0
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFigFleetHealthAwareBeatsBlind is the figure's acceptance gate: on the
+// seeded 4-device fleet with gpu1 derated at half-stream, score-weighted
+// placement must serve more MB/s than blind sequence-modulo routing, both
+// modes must quarantine the sick device, and every mode's archive must be
+// byte-identical (FigFleetRows panics otherwise — placement may move work,
+// never change bytes).
+func TestFigFleetHealthAwareBeatsBlind(t *testing.T) {
+	rows := FigFleetRows(FleetConfig{})
+	ceiling, blind, aware := rows[0], rows[1], rows[2]
+
+	if aware.MBps <= blind.MBps {
+		t.Fatalf("health-aware placement (%.1f MB/s) did not beat blind routing (%.1f MB/s) on the degraded fleet",
+			aware.MBps, blind.MBps)
+	}
+	if ceiling.MBps <= blind.MBps {
+		t.Fatalf("degradation did not cost blind routing anything: ceiling %.1f MB/s vs degraded %.1f MB/s",
+			ceiling.MBps, blind.MBps)
+	}
+	if ceiling.Quarantines != 0 || ceiling.Rerouted != 0 {
+		t.Fatalf("healthy ceiling run quarantined or rerouted: %+v", ceiling)
+	}
+	if blind.Quarantines == 0 {
+		t.Fatalf("blind routing never quarantined the derated device: %+v", blind)
+	}
+	if aware.Quarantines == 0 {
+		t.Fatalf("health-aware placement never quarantined the derated device: %+v", aware)
+	}
+	if aware.Probes == 0 {
+		t.Fatalf("no probe batches reached the quarantined device under health-aware placement: %+v", aware)
+	}
+	if aware.Rerouted >= blind.Rerouted && blind.Rerouted > 0 {
+		t.Fatalf("health-aware placement fell back to the CPU at least as often as blind routing: %d vs %d",
+			aware.Rerouted, blind.Rerouted)
+	}
+	if !bytes.Equal(ceiling.Archive, aware.Archive) || !bytes.Equal(ceiling.Archive, blind.Archive) {
+		t.Fatal("archives differ across placement modes")
+	}
+}

@@ -29,16 +29,42 @@ type GPUOptions struct {
 	// once per batch with the batch's device index.
 	FaultsFor func(dev int) fault.Config
 	// Health, when set, routes each serving-path batch through the
-	// per-device scoreboard: batches of a quarantined device run on the CPU
-	// fallback (except probes), and every device-run outcome is recorded.
+	// per-device scoreboard: placement weights by health score, a
+	// quarantined device gets only probe batches, a batch no device can
+	// take runs on the CPU fallback, and every device-run outcome (and its
+	// observed service time) is recorded.
 	Health *health.Scoreboard
+	// Fleet, when set, gives each serving-path device its own spec
+	// (heterogeneous pools, gpu.ParseFleet); len(Fleet) overrides Devices.
+	// CompressGPU's one-shot device uses Fleet[0] when present.
+	Fleet []gpu.DeviceSpec
+	// BlindPlacement forces sequence-modulo round-robin even when Health is
+	// set (quarantined devices' batches reroute to the CPU instead of other
+	// devices) — the pre-placement behavior, kept as the figures baseline.
+	BlindPlacement bool
+	// Placed, when set, observes every serving-path placement decision:
+	// dev >= 0 with the batch's virtual device seconds, or dev = -1 for a
+	// batch that ran on the CPU fallback. The fleet figure's lane-accounting
+	// hook.
+	Placed func(dev int, probe bool, virtualSeconds float64)
 }
 
 func (o GPUOptions) devices() int {
+	if len(o.Fleet) > 0 {
+		return len(o.Fleet)
+	}
 	if o.Devices <= 0 {
 		return 1
 	}
 	return o.Devices
+}
+
+// specFor resolves device dev's hardware spec.
+func (o GPUOptions) specFor(dev int) gpu.DeviceSpec {
+	if dev >= 0 && dev < len(o.Fleet) {
+		return o.Fleet[dev]
+	}
+	return gpu.TitanXPSpec()
 }
 
 // faultsFor resolves the injector config for one device.
@@ -85,7 +111,7 @@ func CompressGPU(input []byte, w io.Writer, opt GPUOptions) (Stats, GPUReport, e
 	Fragment(input, opt.batchSize(), func(b *Batch) { batches = append(batches, b) })
 
 	sim := des.New()
-	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), 0)
+	dev := gpu.NewDevice(sim, opt.specFor(0), 0)
 	dev.SetTelemetry(opt.Metrics)
 	if opt.Faults != (fault.Config{}) {
 		dev.SetFaultInjector(fault.New(opt.Faults))

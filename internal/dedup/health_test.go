@@ -48,6 +48,10 @@ func TestProcessorQuarantineReroutes(t *testing.T) {
 		MaxRetries: 1,
 		Devices:    2,
 		Health:     sb,
+		// This test pins the blind-placement semantics: a quarantined
+		// device's batches reroute to the CPU. Score-weighted placement
+		// (which sheds them to other devices instead) has its own test.
+		BlindPlacement: true,
 		FaultsFor: func(dev int) fault.Config {
 			if dev != 1 {
 				return fault.Config{Seed: 1}

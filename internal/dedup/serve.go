@@ -1,12 +1,15 @@
 package dedup
 
 import (
+	"fmt"
+
 	"streamgpu/internal/des"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/gpu"
 	"streamgpu/internal/health"
 	"streamgpu/internal/lzss"
 	"streamgpu/internal/rabin"
+	"streamgpu/internal/telemetry"
 )
 
 // NewStreamBatch builds one pooled batch around data for the serving path:
@@ -138,29 +141,45 @@ func (p *Processor) deviceFor(b *Batch) int {
 	return int(uint(b.Seq) % uint(n))
 }
 
-// processGPU runs the batch's kernels on a private simulated device. Unlike
-// CompressGPU, which owns one device for a whole run, the serving path spins
-// one simulation per batch — device loss therefore costs one batch (degraded
-// to the CPU), not the rest of the stream. When a health scoreboard is
-// configured, the batch's device is consulted first: a quarantined device
-// gets only probe batches, everything else reroutes to the CPU, and each
-// device-run outcome (clean, or any fault the recovery ladder absorbed)
-// feeds back into the scoreboard.
-func (p *Processor) processGPU(b *Batch, store BlockStore) {
+// place picks the batch's device. Without a scoreboard (or with
+// BlindPlacement) it is the legacy sequence-modulo spread, filtered through
+// Route when a scoreboard exists; with one, Place makes the score-weighted
+// decision for the whole pool. A zero Route means the CPU fallback.
+func (p *Processor) place(b *Batch) (int, health.Route) {
+	if p.opt.Health != nil && !p.opt.BlindPlacement {
+		return p.opt.Health.Place()
+	}
 	devIdx := p.deviceFor(b)
 	route := health.Route{Device: true}
 	if p.opt.Health != nil {
 		route = p.opt.Health.Route(devIdx)
 	}
+	return devIdx, route
+}
+
+// processGPU runs the batch's kernels on a private simulated device. Unlike
+// CompressGPU, which owns one device for a whole run, the serving path spins
+// one simulation per batch — device loss therefore costs one batch (degraded
+// to the CPU), not the rest of the stream. When a health scoreboard is
+// configured, placement is score-weighted across the pool: a quarantined
+// device gets only probe batches, a batch no device can take reroutes to the
+// CPU, and each device-run outcome (clean, or any fault the recovery ladder
+// absorbed) plus its virtual service time feeds back into the scoreboard.
+func (p *Processor) processGPU(b *Batch, store BlockStore) {
+	devIdx, route := p.place(b)
 	if !route.Device {
 		p.processCPU(b, store)
 		p.rep.Rerouted++
+		p.opt.Metrics.Counter("dedup_placed_total", placeLabels(-1, nil, false)).Add(1)
+		if p.opt.Placed != nil {
+			p.opt.Placed(-1, false, 0)
+		}
 		return
 	}
 
 	before := p.rep
 	sim := des.New()
-	dev := gpu.NewDevice(sim, gpu.TitanXPSpec(), devIdx)
+	dev := gpu.NewDevice(sim, p.opt.specFor(devIdx), devIdx)
 	dev.SetTelemetry(p.opt.Metrics)
 	if fc := p.opt.faultsFor(devIdx); fc != (fault.Config{}) {
 		// Decorrelate batches while keeping each schedule reproducible.
@@ -174,7 +193,8 @@ func (p *Processor) processGPU(b *Batch, store BlockStore) {
 		gpuCompressBatch(proc, st, dev, b, store, p.opt, &p.rep)
 		done = true
 	})
-	if _, err := sim.Run(); err != nil || !done {
+	end, err := sim.Run()
+	if err != nil || !done {
 		// Simulation-level failure: recompute the whole batch on the CPU.
 		// The stage bodies are idempotent, so redoing work a partially
 		// successful simulation already did is safe.
@@ -185,6 +205,7 @@ func (p *Processor) processGPU(b *Batch, store BlockStore) {
 	if dev.Lost() {
 		p.rep.DeviceLost = true
 	}
+	virt := end.Seconds()
 	if p.opt.Health != nil {
 		// Any fault-injector activity this batch — an absorbed retry, a
 		// stage degraded to the CPU, or device loss — counts against the
@@ -194,5 +215,26 @@ func (p *Processor) processGPU(b *Batch, store BlockStore) {
 			p.rep.CPUCompress != before.CPUCompress ||
 			dev.Lost()
 		p.opt.Health.Record(devIdx, route, faulted)
+		if err == nil && done {
+			// Retry backoff inflates the virtual time — that is genuinely
+			// degraded service and belongs in the score; only a dead
+			// simulation's truncated clock is discarded.
+			p.opt.Health.ObserveService(devIdx, virt, len(b.Data))
+		}
 	}
+	p.opt.Metrics.Counter("dedup_placed_total", placeLabels(devIdx, dev, route.Probe)).Add(1)
+	if p.opt.Placed != nil {
+		p.opt.Placed(devIdx, route.Probe, virt)
+	}
+}
+
+// placeLabels builds the dedup_placed_total label set: the device's instance
+// name (or "cpu" for rerouted batches), and whether the batch was a probe
+// sent to a quarantined device rather than regular traffic.
+func placeLabels(devIdx int, dev *gpu.Device, probe bool) telemetry.Labels {
+	name := "cpu"
+	if devIdx >= 0 && dev != nil {
+		name = dev.Name()
+	}
+	return telemetry.Labels{"device": name, "probe": fmt.Sprintf("%v", probe)}
 }

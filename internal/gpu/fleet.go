@@ -1,0 +1,230 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Fleet support: parameterized DeviceSpec constructors plus the -fleet
+// spec-string parser behind heterogeneous device pools. A homogeneous fleet
+// hides placement bugs — every device is interchangeable, so any routing
+// policy looks fine — whereas a pool mixing SM counts, PCIe generations and
+// derated clocks makes placement quality measurable (cmd/figures' fleet
+// table) and lets the health scoreboard's spec normalization be tested
+// (a slow-but-healthy device must not read as a degraded fast one).
+
+// MaxFleetDevices bounds a parsed fleet: the serving path builds one
+// simulated device per entry per batch, so an absurd count is a config
+// error, not a scaling knob.
+const MaxFleetDevices = 64
+
+// WithSMs returns the spec with n streaming multiprocessors — a cut-down
+// part from the same generation (per-SM registers, shared memory and clocks
+// unchanged).
+func (s DeviceSpec) WithSMs(n int) DeviceSpec {
+	s.SMs = n
+	return s
+}
+
+// WithPCIeGen rescales the host-link bandwidths for a PCIe generation,
+// relative to the spec's baseline gen-3 link (each generation doubles
+// per-lane signaling; the per-transfer latency floor stays).
+func (s DeviceSpec) WithPCIeGen(gen int) DeviceSpec {
+	f := math.Ldexp(1, gen-3) // 2^(gen-3): gen2 halves, gen4 doubles
+	s.H2DPinnedBps *= f
+	s.D2HPinnedBps *= f
+	s.H2DPageableBps *= f
+	s.D2HPageableBps *= f
+	return s
+}
+
+// Derated returns the spec with its core clock scaled by f — thermal
+// throttling (f < 1) or a factory overclock (f > 1). Kernel time scales as
+// 1/f; transfers are unaffected.
+func (s DeviceSpec) Derated(f float64) DeviceSpec {
+	s.ClockHz *= f
+	return s
+}
+
+// WithMemGiB returns the spec with g GiB of global memory.
+func (s DeviceSpec) WithMemGiB(g int) DeviceSpec {
+	s.GlobalMemBytes = int64(g) << 30
+	return s
+}
+
+// ServiceSecondsHint estimates the virtual seconds one serving-path batch of
+// n bytes costs on this spec: input up, match arrays (4 bytes of length + 4
+// of offset per input byte) back down, the hash+match kernels at full
+// occupancy, and the fixed per-op overheads. It is a baseline for
+// normalizing observed service times across a heterogeneous fleet, not a
+// prediction — only the ratios between specs matter, so the constants just
+// have to weight transfer against compute plausibly.
+func (s DeviceSpec) ServiceSecondsHint(n int) float64 {
+	const cyclesPerByte = 48 // SHA-1 rounds plus the LZSS window scan
+	bytes := float64(n)
+	up := bytes / posBps(s.H2DPinnedBps)
+	down := 8 * bytes / posBps(s.D2HPinnedBps)
+	threadRate := s.IssueWarpsPerCycle * float64(s.WarpSize) * float64(s.SMs) * s.ClockHz
+	if threadRate <= 0 {
+		threadRate = 1
+	}
+	compute := bytes * cyclesPerByte / threadRate
+	fixed := (4*s.CopyLatency + 2*s.KernelLaunchOverhead).Seconds()
+	return up + down + compute + fixed
+}
+
+// posBps guards the hint against a zero-bandwidth spec.
+func posBps(bps float64) float64 {
+	if bps <= 0 {
+		return 1
+	}
+	return bps
+}
+
+// baseSpecs are the named starting points a fleet entry may modify.
+var baseSpecs = map[string]func() DeviceSpec{
+	"titanxp": TitanXPSpec,
+	"titan":   TitanXPSpec,
+}
+
+// ParseFleet turns a -fleet spec string into per-device specs. Grammar:
+//
+//	fleet := entry ("," entry)*
+//	entry := kind ["*" count] ("@" key "=" value)*
+//
+// kind names a base spec ("titanxp"); count replicates the entry; the
+// modifiers are clock=<factor> (Derated), gen=<1..5> (WithPCIeGen),
+// sms=<count> (WithSMs), mem=<GiB> (WithMemGiB) and name=<id> (display name,
+// must be unique and cannot be combined with a count). Example:
+//
+//	titanxp*2,titanxp@clock=0.6@gen=2,titanxp@sms=15
+//
+// is a four-device fleet: two stock boards, a thermally derated board on a
+// narrow link, and a half-sized part.
+func ParseFleet(s string) ([]DeviceSpec, error) {
+	var fleet []DeviceSpec
+	names := make(map[string]bool)
+	for _, raw := range strings.Split(s, ",") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			return nil, fmt.Errorf("fleet: empty entry in %q", s)
+		}
+		specs, name, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		if name != "" {
+			if names[name] {
+				return nil, fmt.Errorf("fleet: duplicate device id %q", name)
+			}
+			names[name] = true
+		}
+		fleet = append(fleet, specs...)
+		if len(fleet) > MaxFleetDevices {
+			return nil, fmt.Errorf("fleet: %d devices exceeds the %d-device cap", len(fleet), MaxFleetDevices)
+		}
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("fleet: empty spec")
+	}
+	return fleet, nil
+}
+
+// parseEntry expands one fleet entry; name is the explicit id, if any.
+func parseEntry(entry string) (specs []DeviceSpec, name string, err error) {
+	parts := strings.Split(entry, "@")
+	head := strings.TrimSpace(parts[0])
+	kind, countStr, hasCount := strings.Cut(head, "*")
+	kind = strings.TrimSpace(kind)
+	base, ok := baseSpecs[kind]
+	if !ok {
+		return nil, "", fmt.Errorf("fleet: unknown device kind %q (want one of %s)", kind, strings.Join(baseKinds(), ", "))
+	}
+	count := 1
+	if hasCount {
+		count, err = strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil {
+			return nil, "", fmt.Errorf("fleet: bad count in %q: %v", entry, err)
+		}
+		if count < 1 || count > MaxFleetDevices {
+			return nil, "", fmt.Errorf("fleet: count %d in %q out of range 1..%d", count, entry, MaxFleetDevices)
+		}
+	}
+	spec := base()
+	spec.Name = kind
+	for _, mod := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(mod), "=")
+		if !ok || strings.TrimSpace(val) == "" {
+			return nil, "", fmt.Errorf("fleet: modifier %q in %q wants key=value", mod, entry)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "clock":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("fleet: bad clock factor %q in %q", val, entry)
+			}
+			if math.IsNaN(f) || f < 0.05 || f > 4 {
+				return nil, "", fmt.Errorf("fleet: clock factor %v in %q out of range 0.05..4", f, entry)
+			}
+			spec = spec.Derated(f)
+			spec.Name += "@clock=" + val
+		case "gen":
+			g, err := strconv.Atoi(val)
+			if err != nil || g < 1 || g > 5 {
+				return nil, "", fmt.Errorf("fleet: PCIe gen %q in %q out of range 1..5", val, entry)
+			}
+			spec = spec.WithPCIeGen(g)
+			spec.Name += "@gen=" + val
+		case "sms":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 || n > 1024 {
+				return nil, "", fmt.Errorf("fleet: SM count %q in %q out of range 1..1024", val, entry)
+			}
+			spec = spec.WithSMs(n)
+			spec.Name += "@sms=" + val
+		case "mem":
+			g, err := strconv.Atoi(val)
+			if err != nil || g < 1 || g > 1024 {
+				return nil, "", fmt.Errorf("fleet: mem GiB %q in %q out of range 1..1024", val, entry)
+			}
+			spec = spec.WithMemGiB(g)
+			spec.Name += "@mem=" + val
+		case "name":
+			if len(val) > 32 {
+				return nil, "", fmt.Errorf("fleet: name %q in %q longer than 32 bytes", val, entry)
+			}
+			name = val
+		default:
+			return nil, "", fmt.Errorf("fleet: unknown modifier %q in %q (want clock, gen, sms, mem or name)", key, entry)
+		}
+	}
+	if name != "" {
+		if count > 1 {
+			return nil, "", fmt.Errorf("fleet: name=%s with count %d would duplicate device ids", name, count)
+		}
+		spec.Name = name
+	}
+	specs = make([]DeviceSpec, count)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return specs, name, nil
+}
+
+// baseKinds lists the known device kinds, sorted, for error messages.
+func baseKinds() []string {
+	kinds := make([]string, 0, len(baseSpecs))
+	for k := range baseSpecs {
+		kinds = append(kinds, k)
+	}
+	// The map is tiny; insertion-sort keeps the import list flat.
+	for i := 1; i < len(kinds); i++ {
+		for j := i; j > 0 && kinds[j] < kinds[j-1]; j-- {
+			kinds[j], kinds[j-1] = kinds[j-1], kinds[j]
+		}
+	}
+	return kinds
+}

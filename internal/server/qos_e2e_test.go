@@ -134,6 +134,11 @@ func TestQuarantineEndToEnd(t *testing.T) {
 		Linger:  time.Millisecond,
 		GPU:     true,
 		Devices: 2,
+		// Pin sequence-modulo routing: this test asserts the quarantine
+		// machinery itself, which needs the bad device to keep receiving
+		// batches until MinSamples is reached. Score-weighted placement
+		// (the default) starves it first and has its own tests.
+		BlindPlacement: true,
 		DeviceFaults: func(dev int) fault.Config {
 			if dev == 1 {
 				return fault.Config{Seed: 7, TransferRate: 0.95, KernelRate: 0.95}

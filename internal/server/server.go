@@ -35,8 +35,10 @@ import (
 
 	"streamgpu/internal/core"
 	"streamgpu/internal/dedup"
+	"streamgpu/internal/diag"
 	"streamgpu/internal/fault"
 	"streamgpu/internal/ff"
+	"streamgpu/internal/gpu"
 	"streamgpu/internal/health"
 	"streamgpu/internal/mandel"
 	"streamgpu/internal/pool"
@@ -83,9 +85,23 @@ type Config struct {
 	// Devices is the simulated GPU pool size for the dedup path (default
 	// 1). Batches spread across devices by sequence number.
 	Devices int
+	// Fleet, when non-empty, is the heterogeneous per-device spec list
+	// (-fleet; gpu.ParseFleet builds it). Its length overrides Devices and
+	// its specs seed the health scoreboard's service-time baselines.
+	Fleet []gpu.DeviceSpec
 	// Health configures the per-device quarantine scoreboard; the zero
 	// value uses the documented defaults. Only consulted when GPU is set.
 	Health health.Config
+	// ProbeInterval runs the diag probe suite against every device this
+	// often in the background, feeding pass/fail into the scoreboard
+	// (quarantined devices re-admit after clean probe cycles). 0 disables
+	// background probing. Only consulted when GPU is set.
+	ProbeInterval time.Duration
+	// ProbeLevel is the background probes' diag run level (1..3, default 1).
+	ProbeLevel int
+	// BlindPlacement disables score-weighted placement and falls back to
+	// sequence-modulo device routing — the figures baseline.
+	BlindPlacement bool
 	// DeviceFaults, when set, overrides Faults per device — the chaos
 	// harness's hook for degrading one device mid-stream.
 	DeviceFaults func(dev int) fault.Config
@@ -142,10 +158,36 @@ func (c Config) maxPayload() int {
 }
 
 func (c Config) devices() int {
+	if len(c.Fleet) > 0 {
+		return len(c.Fleet)
+	}
 	if c.Devices <= 0 {
 		return 1
 	}
 	return c.Devices
+}
+
+// fleet resolves the per-device spec list: the explicit Fleet, or Devices
+// copies of the reference Titan XP.
+func (c Config) fleet() []gpu.DeviceSpec {
+	if len(c.Fleet) > 0 {
+		return c.Fleet
+	}
+	fl := make([]gpu.DeviceSpec, c.devices())
+	for i := range fl {
+		fl[i] = gpu.TitanXPSpec()
+	}
+	return fl
+}
+
+func (c Config) probeLevel() int {
+	if c.ProbeLevel < diag.LevelQuick {
+		return diag.LevelQuick
+	}
+	if c.ProbeLevel > diag.LevelLong {
+		return diag.LevelLong
+	}
+	return c.ProbeLevel
 }
 
 // Server is a resident streaming service. Create with New, run with Serve,
@@ -172,6 +214,11 @@ type Server struct {
 	adm    *admission
 	est    *estimator
 	scores *health.Scoreboard // nil when GPU is off
+	fleet  []gpu.DeviceSpec   // resolved per-device specs (GPU only)
+
+	probeStop chan struct{} // stops the background prober
+	probing   bool          // prober launched (guarded by mu)
+	probeWG   sync.WaitGroup
 
 	inflight atomic.Int64
 
@@ -218,10 +265,19 @@ func New(cfg Config) *Server {
 	s.dedupSched = qos.NewSched(cfg.batchSize(), weight, nil)
 	s.mandelSched = qos.NewSched(cfg.batchSize(), weight, nil)
 	if cfg.GPU {
+		s.fleet = cfg.fleet()
+		s.probeStop = make(chan struct{})
 		hc := cfg.Health
-		hc.Devices = cfg.devices()
+		hc.Devices = len(s.fleet)
 		hc.OnTransition = s.quarantineTransition
 		s.scores = health.New(hc)
+		// Seed per-device service-time baselines from the specs so a slow
+		// device on a heterogeneous fleet is judged against its own expected
+		// pace, not the fleet's fastest.
+		bs := cfg.batchSize()
+		for i, spec := range s.fleet {
+			s.scores.SetBaseline(i, spec.ServiceSecondsHint(bs)/float64(bs))
+		}
 	}
 	s.payloads.SetTelemetry(cfg.Metrics)
 	cfg.Metrics.GaugeFunc("server_inflight", telemetry.Labels{}, func() float64 {
@@ -237,6 +293,12 @@ func New(cfg Config) *Server {
 		cfg.Metrics.GaugeFunc("server_devices_quarantined", telemetry.Labels{}, func() float64 {
 			return float64(s.scores.QuarantinedCount())
 		})
+		for i := range s.fleet {
+			dev := i
+			cfg.Metrics.GaugeFunc("health_device_score", telemetry.Labels{"device": fmt.Sprintf("gpu%d", dev)}, func() float64 {
+				return s.scores.Score(dev)
+			})
+		}
 	}
 	return s
 }
@@ -341,9 +403,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	ln := s.ln
+	probing := s.probing
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if probing {
+		close(s.probeStop)
+		s.probeWG.Wait() //streamvet:ignore ctxprop close(probeStop) unblocks the prober's select immediately, so this wait is finite by construction
 	}
 
 	var forced error
@@ -416,13 +483,22 @@ func (s *Server) startPipelines() {
 			Lanes:       s.cfg.Lanes,
 			StoreShards: s.cfg.StoreShards,
 		},
-		MaxRetries: s.cfg.MaxRetries,
-		Faults:     s.cfg.Faults,
-		Devices:    s.cfg.devices(),
-		FaultsFor:  s.cfg.DeviceFaults,
-		Health:     s.scores,
+		MaxRetries:     s.cfg.MaxRetries,
+		Faults:         s.cfg.Faults,
+		Devices:        s.cfg.devices(),
+		Fleet:          s.cfg.Fleet,
+		BlindPlacement: s.cfg.BlindPlacement,
+		FaultsFor:      s.cfg.DeviceFaults,
+		Health:         s.scores,
 	}
 	useGPU := s.cfg.GPU
+	if useGPU && s.cfg.ProbeInterval > 0 {
+		s.mu.Lock()
+		s.probing = true
+		s.mu.Unlock()
+		s.probeWG.Add(1)
+		go s.probeLoop()
+	}
 
 	// One dispatcher per service pulls items from the fair scheduler and
 	// runs them (a blocking forward into the bounded job channel). Expired
@@ -481,6 +557,43 @@ func mpmcSource[T any](q *ff.MPMC[T], emit func(any)) {
 			burst[i] = zero
 		}
 	}
+}
+
+// probeLoop is the background prober: every ProbeInterval it runs the diag
+// suite over the fleet (small workloads — the point is the verdict, not the
+// numbers), records per-device pass/fail into the scoreboard, and ticks the
+// idle-decay clock. Quarantined devices earn re-admission through these
+// cycles even when placement sends them no traffic.
+func (s *Server) probeLoop() {
+	defer s.probeWG.Done()
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			s.probeCycle()
+		}
+	}
+}
+
+// probeCycle runs one diag pass and feeds the scoreboard.
+func (s *Server) probeCycle() {
+	rep := diag.Run(diag.Options{
+		Level:     s.cfg.probeLevel(),
+		Fleet:     s.fleet,
+		FaultsFor: s.cfg.DeviceFaults,
+		Metrics:   s.cfg.Metrics,
+		VectorLen: 4 << 10,
+		GrindOps:  4,
+	})
+	for i := range s.fleet {
+		s.scores.RecordProbe(i, rep.DevicePass(i))
+	}
+	s.scores.Tick()
 }
 
 // dispatch is one service's scheduler-drain loop.

@@ -57,6 +57,9 @@ func Start(tb testing.TB, seed int64, cfg server.Config) *Runner {
 		serveErr: make(chan error, 1),
 	}
 	devs := cfg.Devices
+	if len(cfg.Fleet) > 0 {
+		devs = len(cfg.Fleet)
+	}
 	if devs <= 0 {
 		devs = 1
 	}
